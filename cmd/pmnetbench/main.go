@@ -1,0 +1,64 @@
+// Command pmnetbench regenerates the tables and figures of the PMNet paper
+// (ISCA 2021) on the simulated testbed.
+//
+// Usage:
+//
+//	pmnetbench [-run all|fig2|fig15|fig16|fig18|fig19|fig20|fig21|fig22|recovery|tpcclock] [-seed N]
+//
+// Each experiment prints the rows the corresponding figure plots, plus notes
+// comparing the measured shape against the paper's reported numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmnet/internal/harness"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id or 'all'")
+	seed := flag.Uint64("seed", 1, "simulation seed (experiments are deterministic per seed)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "table", "output format: table | csv")
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentOrder {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = harness.ExperimentOrder
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			if _, ok := harness.Experiments[id]; !ok {
+				fmt.Fprintf(os.Stderr, "pmnetbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		res := harness.Experiments[id](*seed)
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n", res.ID, res.Table.Title)
+			fmt.Print(res.Table.CSV())
+		default:
+			fmt.Print(res.Table.Format())
+			for _, n := range res.Notes {
+				fmt.Printf("  note: %s\n", n)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command pmnetsim runs one interactive PMNet scenario: build a testbed,
+// drive a workload, optionally inject a server failure mid-run, and dump
+// the resulting latency distribution and component statistics.
+//
+// Usage:
+//
+//	pmnetsim [-design client-server|pmnet-switch|pmnet-nic] [-workload btree|...|ideal]
+//	         [-clients N] [-requests N] [-update-ratio F] [-replication K]
+//	         [-cache N] [-bypass-stack] [-crash] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmnet"
+	"pmnet/internal/harness"
+)
+
+func main() {
+	design := flag.String("design", "pmnet-switch", "client-server | pmnet-switch | pmnet-nic")
+	wl := flag.String("workload", "hashmap", "btree|ctree|rbtree|hashmap|skiplist|redis|twitter|tpcc|ideal")
+	clients := flag.Int("clients", 4, "client machines")
+	requests := flag.Int("requests", 500, "requests per client")
+	updateRatio := flag.Float64("update-ratio", 1.0, "fraction of update requests")
+	replication := flag.Int("replication", 1, "PMNet devices chained for replication")
+	cache := flag.Int("cache", 0, "in-network read cache entries (0 = off)")
+	bypass := flag.Bool("bypass-stack", false, "use libVMA-style kernel-bypass host stacks")
+	zipf := flag.Bool("zipf", false, "zipfian key popularity")
+	cross := flag.Float64("cross-traffic", 0, "background traffic toward the server (Gbps)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var d pmnet.Design
+	switch *design {
+	case "client-server":
+		d = pmnet.ClientServer
+	case "pmnet-switch":
+		d = pmnet.PMNetSwitch
+	case "pmnet-nic":
+		d = pmnet.PMNetNIC
+	default:
+		fmt.Fprintf(os.Stderr, "pmnetsim: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	stacks := pmnet.KernelStack
+	if *bypass {
+		stacks = pmnet.BypassStack
+	}
+
+	res, err := harness.Run(harness.RunConfig{
+		Design:           d,
+		Workload:         harness.Workload(*wl),
+		Clients:          *clients,
+		Requests:         *requests,
+		Warmup:           *requests / 10,
+		UpdateRatio:      *updateRatio,
+		Replication:      *replication,
+		CacheSize:        *cache,
+		Stacks:           stacks,
+		Zipfian:          *zipf,
+		CrossTrafficGbps: *cross,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmnetsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	h := res.Run.Hist
+	fmt.Printf("design        %v (%s, %d clients, update ratio %.0f%%)\n",
+		d, *wl, *clients, *updateRatio*100)
+	fmt.Printf("requests      %d completed (%d updates, %d bypass, %d lock ops, %d lock retries)\n",
+		res.Driver.Completed, res.Driver.Updates, res.Driver.Bypasses,
+		res.Driver.LockOps, res.Driver.LockRetries)
+	fmt.Printf("throughput    %.0f req/s\n", res.Run.Throughput())
+	fmt.Printf("latency mean  %.2f us\n", h.Mean().Micros())
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		fmt.Printf("latency p%-4v %.2f us\n", p, h.Percentile(p).Micros())
+	}
+	if len(res.Bed.Devices) > 0 {
+		for i, dev := range res.Bed.Devices {
+			st := dev.Stats()
+			fmt.Printf("pmnet[%d]      logged=%d acked=%d invalidated=%d bypassed(coll/full/size)=%d/%d/%d",
+				i, st.Log.Logged, st.AcksSent, st.Log.Invalidated,
+				st.Log.BypassedCollision, st.Log.BypassedFull, st.Log.BypassedOversize)
+			if dev.Cache() != nil {
+				cs := dev.Cache().Stats()
+				fmt.Printf(" cache(hit/miss/fill)=%d/%d/%d", cs.Hits, cs.Misses, cs.Fills)
+			}
+			fmt.Println()
+		}
+	}
+	srv := res.Bed.Server.Stats()
+	fmt.Printf("server        applied=%d reads=%d dup=%d retrans=%d reordered=%d\n",
+		srv.UpdatesApplied, srv.ReadsServed, srv.Duplicates, srv.RetransSent, srv.Reordered)
+	net := res.Bed.Network.Stats()
+	fmt.Printf("network       delivered=%d drops(full/rand/dead)=%d/%d/%d\n",
+		net.Delivered, net.DroppedFull, net.DroppedRand, net.DroppedDead)
+}

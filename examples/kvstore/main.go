@@ -1,0 +1,98 @@
+// kvstore: run a read/write key-value workload against each of the five
+// PMDK-style persistent engines (B-Tree, C-Tree, RB-Tree, Hashmap, Skip
+// list), comparing the Client-Server baseline with PMNet — the Figure 19
+// scenario at one update ratio.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+
+	"pmnet"
+)
+
+const (
+	clients     = 4
+	perClient   = 300
+	updateRatio = 0.75
+	keys        = 500
+)
+
+func runWorkload(design pmnet.Design, engine string, seed uint64) (mean pmnet.Time, p99 pmnet.Time, reqPerSec float64) {
+	handler, err := pmnet.NewKVHandler(engine, 0)
+	if err != nil {
+		panic(err)
+	}
+	bed := pmnet.NewTestbed(pmnet.Config{
+		Design:  design,
+		Clients: clients,
+		Seed:    seed,
+		Handler: handler,
+	})
+
+	var lats []pmnet.Time
+	var first, last pmnet.Time
+	done := 0
+	for c := 0; c < clients; c++ {
+		c := c
+		// A small deterministic generator: every 4th op is a read.
+		var issue func(k int)
+		issue = func(k int) {
+			if k >= perClient {
+				return
+			}
+			key := []byte(fmt.Sprintf("key-%04d", (c*7+k*13)%keys))
+			record := func(r pmnet.Result) {
+				if r.Err == nil {
+					lats = append(lats, r.Latency)
+					if first == 0 {
+						first = bed.Now()
+					}
+					last = bed.Now()
+					done++
+				}
+				issue(k + 1)
+			}
+			if float64(k%4)/4.0 < updateRatio {
+				bed.Session(c).SendUpdate(pmnet.PutReq(key, make([]byte, 100)), record)
+			} else {
+				bed.Session(c).Bypass(pmnet.GetReq(key), record)
+			}
+		}
+		issue(0)
+	}
+	bed.Run()
+
+	var sum pmnet.Time
+	var max pmnet.Time
+	sorted := append([]pmnet.Time(nil), lats...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	for _, l := range sorted {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	mean = sum / pmnet.Time(len(sorted))
+	p99 = sorted[len(sorted)*99/100]
+	reqPerSec = float64(done) / (float64(last-first) / 1e9)
+	return
+}
+
+func main() {
+	fmt.Printf("%d clients, %d requests each, %.0f%% updates\n\n", clients, perClient, updateRatio*100)
+	fmt.Printf("%-10s %-28s %-28s %s\n", "engine", "Client-Server", "PMNet-Switch", "speedup")
+	for _, engine := range pmnet.EngineNames {
+		bm, bp99, btp := runWorkload(pmnet.ClientServer, engine, 7)
+		pm, pp99, ptp := runWorkload(pmnet.PMNetSwitch, engine, 7)
+		fmt.Printf("%-10s mean %6.1fus p99 %6.1fus   mean %6.1fus p99 %6.1fus   %.2fx throughput\n",
+			engine, bm.Micros(), bp99.Micros(), pm.Micros(), pp99.Micros(), ptp/btp)
+	}
+}

@@ -1,0 +1,73 @@
+// recovery: demonstrate the paper's §VI-B6 failure experiment — power-fail
+// the server while clients stream updates, let the PMNet device's battery-
+// backed log absorb the in-flight requests, then restore power and watch
+// the recovery protocol replay everything in order.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+
+	"pmnet"
+)
+
+func main() {
+	handler, err := pmnet.NewKVHandler("hashmap", 0)
+	if err != nil {
+		panic(err)
+	}
+	bed := pmnet.NewTestbed(pmnet.Config{
+		Design:  pmnet.PMNetSwitch,
+		Clients: 2,
+		Seed:    99,
+		Handler: handler,
+		Timeout: 20 * pmnet.Millisecond,
+	})
+
+	// Stream 100 updates per client.
+	completed := 0
+	for c := 0; c < 2; c++ {
+		c := c
+		var issue func(k int)
+		issue = func(k int) {
+			if k >= 100 {
+				return
+			}
+			key := []byte(fmt.Sprintf("client%d-key%03d", c, k))
+			bed.Session(c).SendUpdate(pmnet.PutReq(key, []byte("v")), func(r pmnet.Result) {
+				if r.Err == nil {
+					completed++
+				}
+				issue(k + 1)
+			})
+		}
+		issue(0)
+	}
+
+	// Pull the server's power cord mid-stream.
+	bed.RunFor(400 * pmnet.Microsecond)
+	applied := bed.Server.Stats().UpdatesApplied
+	bed.CrashServer()
+	fmt.Printf("t=%-8v server power-failed: %d updates applied, clients keep going\n",
+		bed.Now(), applied)
+
+	// Clients continue: PMNet keeps acknowledging (requests persist in the
+	// device log even though the server is dark).
+	bed.RunFor(600 * pmnet.Microsecond)
+	logged := bed.Devices[0].Log().LiveEntries()
+	fmt.Printf("t=%-8v completed=%d/200 while server down; PMNet log holds %d entries\n",
+		bed.Now(), completed, logged)
+
+	// Power restored: the server polls PMNet, which replays the log; SeqNum
+	// ordering and deduplication give exactly-once application.
+	bed.RecoverServer()
+	bed.Run()
+	st := bed.Server.Stats()
+	fmt.Printf("t=%-8v recovered: applied=%d duplicates_dropped=%d makeup_acks=%d\n",
+		bed.Now(), st.UpdatesApplied, st.Duplicates, st.MakeupAcks)
+	fmt.Printf("clients completed %d/200; PMNet log drained to %d entries\n",
+		completed, bed.Devices[0].Log().LiveEntries())
+	fmt.Printf("device replayed %d logged requests during recovery\n",
+		bed.Devices[0].Stats().RecoveryResends)
+}

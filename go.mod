@@ -1,0 +1,3 @@
+module pmnet
+
+go 1.22

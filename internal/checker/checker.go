@@ -1,0 +1,211 @@
+// Package checker validates the end-to-end persistence guarantees of a
+// PMNet system run — the direction the paper sketches as future work in
+// §VIII ("testing methods can be adapted to in-network data persistence
+// systems, to validate not only the ordering in one application but also
+// the persist ordering among clients and servers").
+//
+// The checker observes a workload from both ends: the client library's
+// issue/completion events and the server handler's apply events. After the
+// run (including any injected crashes and recoveries) it verifies:
+//
+//	D — Durability: every update the client observed as complete (PMNet-ACK
+//	    quorum or server-ACK) is reflected in the recovered server state.
+//	O — Per-session order: a session's updates are applied in issue order.
+//	U — Uniqueness: no update is applied more than once — except the redo
+//	    case: a crash can land between the engine commit and the watermark
+//	    persist, so recovery may re-apply the *identical* update once more
+//	    (standard redo-log at-least-once semantics, safe for idempotent KV
+//	    operations). Set Strict to flag those replays too.
+//	Q — Quiescence: after the system drains, every completed update was
+//	    applied exactly once.
+//
+// Workloads under check must use unique keys per update so the final state
+// maps one-to-one onto updates.
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"pmnet/internal/protocol"
+	"pmnet/internal/server"
+	"pmnet/internal/sim"
+)
+
+// Update is one tracked client update.
+type Update struct {
+	Session   uint16
+	Index     int // issue order within the session
+	Key       string
+	Value     string
+	Completed bool
+}
+
+// Checker accumulates observations from one run.
+type Checker struct {
+	// Strict flags idempotent redo replays as uniqueness violations; leave
+	// false for runs with injected crashes.
+	Strict bool
+
+	updates map[string]*Update // by key
+	issued  map[uint16][]*Update
+	applied []appliedEvent
+}
+
+type appliedEvent struct {
+	key   string
+	value string
+}
+
+// New creates an empty checker.
+func New() *Checker {
+	return &Checker{
+		updates: make(map[string]*Update),
+		issued:  make(map[uint16][]*Update),
+	}
+}
+
+// Issue records that a session issued an update. Keys must be unique across
+// the whole run.
+func (c *Checker) Issue(session uint16, key, value string) {
+	if _, dup := c.updates[key]; dup {
+		panic(fmt.Sprintf("checker: duplicate key %q (checker workloads need unique keys)", key))
+	}
+	u := &Update{Session: session, Index: len(c.issued[session]), Key: key, Value: value}
+	c.updates[key] = u
+	c.issued[session] = append(c.issued[session], u)
+}
+
+// Complete records that the client observed the update as complete (the
+// moment the paper's guarantee attaches: the request is persistent).
+func (c *Checker) Complete(key string) {
+	if u, ok := c.updates[key]; ok {
+		u.Completed = true
+	}
+}
+
+// WrapHandler interposes on the server handler to record every applied PUT.
+// The wrapped handler sees apply events in true execution order (the server
+// library serializes per session).
+func (c *Checker) WrapHandler(h server.Handler) server.Handler {
+	return server.HandlerFunc(func(req protocol.Request) (protocol.Response, sim.Time) {
+		resp, cost := h.Handle(req)
+		if req.Op == protocol.OpPut && len(req.Args) >= 2 && resp.Status == protocol.StatusOK {
+			c.applied = append(c.applied, appliedEvent{
+				key:   string(req.Args[0]),
+				value: string(req.Args[1]),
+			})
+		}
+		return resp, cost
+	})
+}
+
+// AppliedCount returns the number of recorded apply events.
+func (c *Checker) AppliedCount() int { return len(c.applied) }
+
+// Violation describes one broken guarantee.
+type Violation struct {
+	Rule   string // "durability", "order", "uniqueness", "quiescence"
+	Detail string
+}
+
+func (v Violation) Error() string { return v.Rule + ": " + v.Detail }
+
+// Check validates all guarantees. lookup reads the recovered server state
+// (e.g. the storage engine); crashes tells the checker whether the server
+// state was rebuilt from scratch at least once (if not, pre-crash applies
+// persist trivially).
+func (c *Checker) Check(lookup func(key string) (string, bool)) []Violation {
+	var out []Violation
+
+	// U — uniqueness (modulo idempotent redo replay unless Strict).
+	seen := map[string]int{}
+	values := map[string]map[string]bool{}
+	for _, ev := range c.applied {
+		seen[ev.key]++
+		if values[ev.key] == nil {
+			values[ev.key] = map[string]bool{}
+		}
+		values[ev.key][ev.value] = true
+	}
+	for key, n := range seen {
+		if n <= 1 {
+			continue
+		}
+		if len(values[key]) > 1 {
+			out = append(out, Violation{"uniqueness",
+				fmt.Sprintf("update %q applied %d times with differing values", key, n)})
+		} else if c.Strict {
+			out = append(out, Violation{"uniqueness",
+				fmt.Sprintf("update %q applied %d times (redo replay; strict mode)", key, n)})
+		}
+	}
+
+	// O — per-session order: the subsequence of apply events belonging to
+	// one session must have ascending issue indices.
+	lastIdx := map[uint16]int{}
+	for _, ev := range c.applied {
+		u, ok := c.updates[ev.key]
+		if !ok {
+			continue // foreign traffic (e.g. prefill)
+		}
+		if prev, ok := lastIdx[u.Session]; ok && u.Index < prev {
+			out = append(out, Violation{"order",
+				fmt.Sprintf("session %d applied #%d (%q) after #%d", u.Session, u.Index, u.Key, prev)})
+		}
+		lastIdx[u.Session] = u.Index
+	}
+
+	// D — durability of completed updates in the final state.
+	for _, u := range c.sorted() {
+		if !u.Completed {
+			continue
+		}
+		got, ok := lookup(u.Key)
+		if !ok {
+			out = append(out, Violation{"durability",
+				fmt.Sprintf("completed update %q (session %d #%d) missing from recovered state",
+					u.Key, u.Session, u.Index)})
+			continue
+		}
+		if got != u.Value {
+			out = append(out, Violation{"durability",
+				fmt.Sprintf("completed update %q holds %q, want %q", u.Key, got, u.Value)})
+		}
+	}
+
+	// Q — quiescence: every completed update has an apply event.
+	for _, u := range c.sorted() {
+		if u.Completed && seen[u.Key] == 0 {
+			out = append(out, Violation{"quiescence",
+				fmt.Sprintf("completed update %q never applied by the server", u.Key)})
+		}
+	}
+	return out
+}
+
+// sorted returns updates in a deterministic order for stable reports.
+func (c *Checker) sorted() []*Update {
+	out := make([]*Update, 0, len(c.updates))
+	for _, u := range c.updates {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Session != out[j].Session {
+			return out[i].Session < out[j].Session
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Summary returns counts for reporting.
+func (c *Checker) Summary() (issued, completed, applied int) {
+	for _, u := range c.updates {
+		issued++
+		if u.Completed {
+			completed++
+		}
+	}
+	return issued, completed, len(c.applied)
+}

@@ -1,0 +1,218 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"pmnet/internal/protocol"
+	"pmnet/internal/server"
+	"pmnet/internal/sim"
+)
+
+func applyPut(c *Checker, key, value string) {
+	h := c.WrapHandler(server.IdealHandler{})
+	h.Handle(protocol.PutReq([]byte(key), []byte(value)))
+}
+
+func stateOf(m map[string]string) func(string) (string, bool) {
+	return func(k string) (string, bool) {
+		v, ok := m[k]
+		return v, ok
+	}
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	c := New()
+	state := map[string]string{}
+	for i, key := range []string{"a", "b", "c"} {
+		_ = i
+		c.Issue(1, key, "v-"+key)
+		applyPut(c, key, "v-"+key)
+		state[key] = "v-" + key
+		c.Complete(key)
+	}
+	if v := c.Check(stateOf(state)); len(v) != 0 {
+		t.Fatalf("violations on clean run: %v", v)
+	}
+	issued, completed, applied := c.Summary()
+	if issued != 3 || completed != 3 || applied != 3 {
+		t.Fatalf("summary %d/%d/%d", issued, completed, applied)
+	}
+}
+
+func TestDurabilityViolation(t *testing.T) {
+	c := New()
+	c.Issue(1, "k", "v")
+	c.Complete("k")
+	applyPut(c, "k", "v")
+	// Recovered state lost the update.
+	v := c.Check(stateOf(map[string]string{}))
+	if len(v) == 0 || v[0].Rule != "durability" {
+		t.Fatalf("violations %v", v)
+	}
+	if !strings.Contains(v[0].Error(), "missing") {
+		t.Fatalf("detail: %v", v[0])
+	}
+}
+
+func TestDurabilityWrongValue(t *testing.T) {
+	c := New()
+	c.Issue(1, "k", "new")
+	c.Complete("k")
+	applyPut(c, "k", "new")
+	v := c.Check(stateOf(map[string]string{"k": "old"}))
+	found := false
+	for _, violation := range v {
+		if violation.Rule == "durability" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wrong value not flagged: %v", v)
+	}
+}
+
+func TestUncompletedUpdateMayBeLost(t *testing.T) {
+	c := New()
+	c.Issue(1, "k", "v") // never completed: the client got no ACK
+	if v := c.Check(stateOf(map[string]string{})); len(v) != 0 {
+		t.Fatalf("loss of an unacknowledged update flagged: %v", v)
+	}
+}
+
+func TestOrderViolation(t *testing.T) {
+	c := New()
+	c.Issue(1, "first", "1")
+	c.Issue(1, "second", "2")
+	applyPut(c, "second", "2")
+	applyPut(c, "first", "1")
+	state := map[string]string{"first": "1", "second": "2"}
+	c.Complete("first")
+	c.Complete("second")
+	v := c.Check(stateOf(state))
+	found := false
+	for _, violation := range v {
+		if violation.Rule == "order" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("out-of-order apply not flagged: %v", v)
+	}
+}
+
+func TestCrossSessionOrderIsFree(t *testing.T) {
+	// Ordering is only guaranteed within a session (§III-C): interleaving
+	// across sessions must not be flagged.
+	c := New()
+	c.Issue(1, "a1", "x")
+	c.Issue(2, "b1", "y")
+	applyPut(c, "b1", "y")
+	applyPut(c, "a1", "x")
+	c.Complete("a1")
+	c.Complete("b1")
+	state := map[string]string{"a1": "x", "b1": "y"}
+	if v := c.Check(stateOf(state)); len(v) != 0 {
+		t.Fatalf("cross-session interleaving flagged: %v", v)
+	}
+}
+
+func TestUniquenessViolation(t *testing.T) {
+	c := New()
+	c.Strict = true // flag even idempotent replays
+	c.Issue(1, "k", "v")
+	applyPut(c, "k", "v")
+	applyPut(c, "k", "v") // replay not deduped
+	c.Complete("k")
+	v := c.Check(stateOf(map[string]string{"k": "v"}))
+	found := false
+	for _, violation := range v {
+		if violation.Rule == "uniqueness" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("double apply not flagged: %v", v)
+	}
+}
+
+func TestQuiescenceViolation(t *testing.T) {
+	c := New()
+	c.Issue(1, "k", "v")
+	c.Complete("k")
+	// State magically has the value but no apply event was observed
+	// (e.g. the handler was bypassed).
+	v := c.Check(stateOf(map[string]string{"k": "v"}))
+	found := false
+	for _, violation := range v {
+		if violation.Rule == "quiescence" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("phantom state not flagged: %v", v)
+	}
+}
+
+func TestIdempotentReplayAllowedByDefault(t *testing.T) {
+	c := New()
+	c.Issue(1, "k", "v")
+	applyPut(c, "k", "v")
+	applyPut(c, "k", "v") // redo replay of the identical update
+	c.Complete("k")
+	if v := c.Check(stateOf(map[string]string{"k": "v"})); len(v) != 0 {
+		t.Fatalf("idempotent replay flagged in non-strict mode: %v", v)
+	}
+	// Differing values are always a violation.
+	c2 := New()
+	c2.Issue(1, "k", "v1")
+	applyPut(c2, "k", "v1")
+	applyPut(c2, "k", "v2")
+	c2.Complete("k")
+	found := false
+	for _, violation := range c2.Check(stateOf(map[string]string{"k": "v1"})) {
+		if violation.Rule == "uniqueness" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("differing-value double apply not flagged")
+	}
+}
+
+func TestForeignTrafficIgnored(t *testing.T) {
+	c := New()
+	applyPut(c, "prefill", "x") // not issued through the checker
+	c.Issue(1, "k", "v")
+	applyPut(c, "k", "v")
+	c.Complete("k")
+	if v := c.Check(stateOf(map[string]string{"k": "v", "prefill": "x"})); len(v) != 0 {
+		t.Fatalf("prefill traffic flagged: %v", v)
+	}
+}
+
+func TestDuplicateKeyPanics(t *testing.T) {
+	c := New()
+	c.Issue(1, "k", "v")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate key accepted")
+		}
+	}()
+	c.Issue(2, "k", "w")
+}
+
+func TestWrapHandlerIgnoresFailedAndNonPut(t *testing.T) {
+	c := New()
+	h := c.WrapHandler(server.HandlerFunc(func(req protocol.Request) (protocol.Response, sim.Time) {
+		if req.Op == protocol.OpPut {
+			return protocol.Response{Status: protocol.StatusError}, 1
+		}
+		return protocol.Response{Status: protocol.StatusOK}, 1
+	}))
+	h.Handle(protocol.PutReq([]byte("k"), []byte("v"))) // fails: not recorded
+	h.Handle(protocol.GetReq([]byte("k")))
+	if c.AppliedCount() != 0 {
+		t.Fatalf("applied %d", c.AppliedCount())
+	}
+}

@@ -1,0 +1,361 @@
+// Package client implements the PMNet client-side software library
+// (Table I of the paper): sessions, update and bypass requests, PMNet-ACK
+// collection (including k-of-k for in-network replication and per-fragment
+// ACKs for MTU-sized queries, §IV-A3), and timeout-driven retransmission.
+package client
+
+import (
+	"fmt"
+
+	"pmnet/internal/netsim"
+	"pmnet/internal/protocol"
+	"pmnet/internal/sim"
+)
+
+// Mode selects how updates complete.
+type Mode uint8
+
+const (
+	// ModeBaseline completes updates only on the server's ACK — the
+	// traditional Client-Server design point.
+	ModeBaseline Mode = iota
+	// ModePMNet completes updates once every fragment has collected the
+	// required number of PMNet-ACKs (sub-RTT persistence).
+	ModePMNet
+)
+
+// Config parameterizes a session.
+type Config struct {
+	Session      uint16
+	Server       netsim.NodeID
+	Mode         Mode
+	RequiredAcks int      // PMNet devices that must log each fragment (replication k); min 1 in ModePMNet
+	MTU          int      // 0 = protocol.MTU
+	Timeout      sim.Time // retransmission timeout; 0 = 1 ms
+	MaxRetries   int      // attempts before failing the request; 0 = 10
+	SrcPort      uint16   // 0 = 40000+Session
+	DstPort      uint16   // 0 = protocol.PortMin
+}
+
+// Result reports a completed request to the application.
+type Result struct {
+	Status    protocol.Status
+	Args      [][]byte // raw response arguments (e.g. scan key/value pairs)
+	Value     []byte   // response value for reads
+	Latency   sim.Time // issue → completion
+	Resends   int      // timeout retransmissions
+	FromCache bool     // read served by an in-network cache
+	Err       error    // set when the request ultimately failed
+}
+
+// Stats counts session activity.
+type Stats struct {
+	UpdatesSent   uint64
+	BypassSent    uint64
+	Completed     uint64
+	Failed        uint64
+	Resends       uint64
+	PMNetAcks     uint64
+	ServerAcks    uint64
+	CacheHits     uint64
+	RetransServed uint64 // Retrans requests answered by this client
+}
+
+type fragState struct {
+	msg       protocol.Message
+	acks      int // distinct PMNet-ACKs... counted as received (devices ack once each)
+	serverAck bool
+	done      bool
+}
+
+type pending struct {
+	firstSeq  uint32
+	frags     []*fragState
+	isUpdate  bool
+	issued    sim.Time
+	retries   int
+	done      bool
+	callback  func(Result)
+	timer     *sim.Event
+	response  *protocol.Response
+	fromCache bool
+}
+
+// Session is one client connection to a server, multiplexed over the PMNet
+// protocol. Not safe for concurrent use: everything runs on the virtual
+// clock.
+// BypassSeqBit tags bypass-request sequence numbers. Updates form the
+// ordered, gap-checked stream the server replays after failures; bypass
+// requests (reads, locks) are idempotent and may never reach the server at
+// all when an in-network cache answers them, so they draw from a separate,
+// unordered sequence space to avoid punching permanent holes in the update
+// stream.
+const BypassSeqBit uint32 = 1 << 31
+
+type Session struct {
+	host       *netsim.Host
+	eng        *sim.Engine
+	cfg        Config
+	nextUpdSeq uint32
+	nextBypSeq uint32
+	// outstanding requests keyed by first fragment seq; fragment seq → owner.
+	requests map[uint32]*pending
+	bySeq    map[uint32]*pending
+	stats    Stats
+	closed   bool
+}
+
+// New opens a session on host. The session registers itself as the host's
+// packet receiver; one host runs one session (matching the paper's client
+// instances, each a separate process).
+func New(host *netsim.Host, cfg Config) *Session {
+	if cfg.MTU <= 0 {
+		cfg.MTU = protocol.MTU
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = sim.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 10
+	}
+	if cfg.SrcPort == 0 {
+		cfg.SrcPort = 40000 + cfg.Session
+	}
+	if cfg.DstPort == 0 {
+		cfg.DstPort = protocol.PortMin
+	}
+	if cfg.Mode == ModePMNet && cfg.RequiredAcks <= 0 {
+		cfg.RequiredAcks = 1
+	}
+	s := &Session{
+		host:       host,
+		eng:        host.Engine(),
+		cfg:        cfg,
+		nextUpdSeq: 1,
+		nextBypSeq: BypassSeqBit | 1,
+		requests:   make(map[uint32]*pending),
+		bySeq:      make(map[uint32]*pending),
+	}
+	host.OnReceive(s.onPacket)
+	return s
+}
+
+// Stats returns a copy of the session counters.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Outstanding returns the number of in-flight requests.
+func (s *Session) Outstanding() int { return len(s.requests) }
+
+// Close ends the session; outstanding requests fail.
+func (s *Session) Close() {
+	s.closed = true
+	for _, p := range s.requests {
+		s.fail(p, fmt.Errorf("client: session closed"))
+	}
+}
+
+// SendUpdate issues an update request (PMNet_send_update in Table I).
+// done is invoked on the virtual clock when the request completes: in
+// ModePMNet once every fragment is persistent in the required number of
+// PMNet devices; in ModeBaseline once the server acknowledges.
+func (s *Session) SendUpdate(req protocol.Request, done func(Result)) {
+	s.stats.UpdatesSent++
+	s.issue(protocol.TypeUpdateReq, req.Encode(), true, done)
+}
+
+// Bypass issues a read or synchronization request that must be processed by
+// the server (PMNet_bypass in Table I). It completes on the server's
+// response or an in-network cache response.
+func (s *Session) Bypass(req protocol.Request, done func(Result)) {
+	s.stats.BypassSent++
+	s.issue(protocol.TypeBypassReq, req.Encode(), false, done)
+}
+
+func (s *Session) issue(typ protocol.Type, payload []byte, isUpdate bool, done func(Result)) {
+	if s.closed {
+		if done != nil {
+			done(Result{Status: protocol.StatusError, Err: fmt.Errorf("client: session closed")})
+		}
+		return
+	}
+	var first uint32
+	if isUpdate {
+		first = s.nextUpdSeq
+	} else {
+		first = s.nextBypSeq
+	}
+	msgs := protocol.Fragment(typ, s.cfg.Session, first, payload, s.cfg.MTU)
+	if isUpdate {
+		s.nextUpdSeq += uint32(len(msgs))
+	} else {
+		s.nextBypSeq += uint32(len(msgs))
+	}
+	p := &pending{
+		firstSeq: first,
+		frags:    make([]*fragState, len(msgs)),
+		isUpdate: isUpdate,
+		issued:   s.eng.Now(),
+		callback: done,
+	}
+	for i, m := range msgs {
+		p.frags[i] = &fragState{msg: m}
+		s.bySeq[m.Hdr.SeqNum] = p
+	}
+	s.requests[first] = p
+	s.transmit(p, false)
+	s.armTimer(p)
+}
+
+func (s *Session) transmit(p *pending, onlyIncomplete bool) {
+	for _, f := range p.frags {
+		if onlyIncomplete && f.done {
+			continue
+		}
+		s.host.Send(&netsim.Packet{
+			To:      s.cfg.Server,
+			SrcPort: s.cfg.SrcPort,
+			DstPort: s.cfg.DstPort,
+			PMNet:   true,
+			Msg:     f.msg,
+		})
+	}
+}
+
+func (s *Session) armTimer(p *pending) {
+	p.timer = s.eng.After(s.cfg.Timeout, func() { s.onTimeout(p) })
+}
+
+func (s *Session) onTimeout(p *pending) {
+	if p.done || s.closed {
+		return
+	}
+	p.retries++
+	if p.retries > s.cfg.MaxRetries {
+		s.fail(p, fmt.Errorf("client: request seq %d timed out after %d attempts",
+			p.firstSeq, p.retries))
+		return
+	}
+	s.stats.Resends++
+	s.transmit(p, true)
+	s.armTimer(p)
+}
+
+func (s *Session) finish(p *pending, res Result) {
+	if p.done {
+		return
+	}
+	p.done = true
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+	delete(s.requests, p.firstSeq)
+	for _, f := range p.frags {
+		delete(s.bySeq, f.msg.Hdr.SeqNum)
+	}
+	res.Latency = s.eng.Now() - p.issued
+	res.Resends = p.retries
+	if res.Err != nil {
+		s.stats.Failed++
+	} else {
+		s.stats.Completed++
+	}
+	if p.callback != nil {
+		p.callback(res)
+	}
+}
+
+func (s *Session) fail(p *pending, err error) {
+	s.finish(p, Result{Status: protocol.StatusError, Err: err})
+}
+
+// requiredAcks returns how many PMNet-ACKs complete one fragment, or 0 when
+// only a server ACK can.
+func (s *Session) requiredAcks() int {
+	if s.cfg.Mode == ModePMNet {
+		return s.cfg.RequiredAcks
+	}
+	return 0
+}
+
+func (s *Session) maybeCompleteUpdate(p *pending) {
+	for _, f := range p.frags {
+		if !f.done {
+			return
+		}
+	}
+	s.finish(p, Result{Status: protocol.StatusOK})
+}
+
+func (s *Session) onPacket(pkt *netsim.Packet) {
+	if !pkt.PMNet || s.closed {
+		return
+	}
+	hdr := pkt.Msg.Hdr
+	if hdr.SessionID != s.cfg.Session {
+		return
+	}
+	switch hdr.Type {
+	case protocol.TypePMNetACK:
+		s.stats.PMNetAcks++
+		p := s.bySeq[hdr.SeqNum]
+		if p == nil || !p.isUpdate {
+			return
+		}
+		f := p.frags[hdr.SeqNum-p.firstSeq]
+		f.acks++
+		need := s.requiredAcks()
+		if need > 0 && !f.done && f.acks >= need {
+			f.done = true
+			s.maybeCompleteUpdate(p)
+		}
+	case protocol.TypeServerACK:
+		s.stats.ServerAcks++
+		p := s.bySeq[hdr.SeqNum]
+		if p == nil {
+			return
+		}
+		f := p.frags[hdr.SeqNum-p.firstSeq]
+		f.serverAck = true
+		// A server ACK subsumes any number of PMNet ACKs: the request is
+		// fully processed.
+		if !f.done {
+			f.done = true
+			s.maybeCompleteUpdate(p)
+		}
+	case protocol.TypeReadResp, protocol.TypeCacheResp:
+		p := s.bySeq[hdr.SeqNum]
+		if p == nil || p.isUpdate {
+			return
+		}
+		resp, err := protocol.DecodeResponse(pkt.Msg.Payload)
+		if err != nil {
+			return
+		}
+		res := Result{Status: resp.Status, Args: resp.Args, FromCache: hdr.Type == protocol.TypeCacheResp}
+		if hdr.Type == protocol.TypeCacheResp {
+			s.stats.CacheHits++
+		}
+		// KV read responses carry [key, value]; other responses carry
+		// their own arg shapes — expose the raw args tail.
+		if len(resp.Args) >= 2 {
+			res.Value = resp.Args[1]
+		} else if len(resp.Args) == 1 {
+			res.Value = resp.Args[0]
+		}
+		s.finish(p, res)
+	case protocol.TypeRetrans:
+		// The server is missing one of our packets and no PMNet had it
+		// logged: resend just that fragment.
+		if p := s.bySeq[hdr.SeqNum]; p != nil {
+			f := p.frags[hdr.SeqNum-p.firstSeq]
+			s.stats.RetransServed++
+			s.host.Send(&netsim.Packet{
+				To:      s.cfg.Server,
+				SrcPort: s.cfg.SrcPort,
+				DstPort: s.cfg.DstPort,
+				PMNet:   true,
+				Msg:     f.msg,
+			})
+		}
+	}
+}

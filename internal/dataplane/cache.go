@@ -1,0 +1,199 @@
+package dataplane
+
+import "container/list"
+
+// CacheState is the per-entry state of the integrated read cache
+// (Figure 11 of the paper).
+type CacheState uint8
+
+const (
+	// CacheInvalid: entry unused (initial state).
+	CacheInvalid CacheState = iota
+	// CachePending: the latest update to this key is logged in PMNet but
+	// not yet persisted by the server. Serves reads.
+	CachePending
+	// CachePersisted: the server has persisted the logged request. Serves
+	// reads.
+	CachePersisted
+	// CacheStale: a newer in-flight update superseded the logged entry; it
+	// must not serve reads and becomes Invalid once the old update's
+	// server-ACK arrives.
+	CacheStale
+)
+
+func (s CacheState) String() string {
+	switch s {
+	case CacheInvalid:
+		return "invalid"
+	case CachePending:
+		return "pending"
+	case CachePersisted:
+		return "persisted"
+	case CacheStale:
+		return "stale"
+	default:
+		return "?"
+	}
+}
+
+// servable reports whether an entry in this state may answer reads
+// ("When the state is Pending or Persisted, the entry can serve for read
+// cache", §IV-D).
+func (s CacheState) servable() bool { return s == CachePending || s == CachePersisted }
+
+type cacheEntry struct {
+	key   string
+	state CacheState
+	value []byte
+	elem  *list.Element
+}
+
+// CacheStats counts read-cache activity.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Fills     uint64 // insertions from server read responses
+	Evictions uint64
+}
+
+// Cache is the PMNet read cache layered on the persistent log (§IV-D). It
+// maps application keys to values with the four-state protocol of Figure 11,
+// bounded by an LRU policy that never evicts entries holding protocol state
+// for in-flight updates (Pending/Stale).
+type Cache struct {
+	capacity int
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recent
+	stats    CacheStats
+}
+
+// NewCache creates a cache bounded to capacity entries. capacity must be
+// positive.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		panic("dataplane: cache capacity must be positive")
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*cacheEntry, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Stats returns a copy of the cache counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Len returns the number of entries (any state).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// State returns the protocol state of key (CacheInvalid if absent).
+func (c *Cache) State(key string) CacheState {
+	if e, ok := c.entries[key]; ok {
+		return e.state
+	}
+	return CacheInvalid
+}
+
+func (c *Cache) touch(e *cacheEntry) { c.lru.MoveToFront(e.elem) }
+
+// evictOne removes the least recently used entry whose state permits
+// eviction. Returns false if every entry is protocol-pinned.
+func (c *Cache) evictOne() bool {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if e.state == CachePending || e.state == CacheStale {
+			continue // pinned: holds in-flight protocol state
+		}
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.stats.Evictions++
+		return true
+	}
+	return false
+}
+
+func (c *Cache) insert(key string, state CacheState, value []byte) *cacheEntry {
+	if len(c.entries) >= c.capacity {
+		if !c.evictOne() {
+			return nil // cache full of pinned entries
+		}
+	}
+	e := &cacheEntry{key: key, state: state, value: value}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	return e
+}
+
+// Lookup serves a read: on a hit (entry Pending or Persisted) it returns the
+// value. The miss counter includes unservable (Stale/Invalid) entries.
+func (c *Cache) Lookup(key string) ([]byte, bool) {
+	e, ok := c.entries[key]
+	if !ok || !e.state.servable() {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.touch(e)
+	return e.value, true
+}
+
+// OnUpdate applies the state transitions for an update-req to key carrying
+// value (T1, T3, T4, T5 in Figure 11).
+func (c *Cache) OnUpdate(key string, value []byte) {
+	e, ok := c.entries[key]
+	if !ok || e == nil {
+		c.insert(key, CachePending, value) // T1
+		return
+	}
+	switch e.state {
+	case CacheInvalid:
+		e.state = CachePending // T1
+		e.value = value
+		c.touch(e)
+	case CachePersisted:
+		e.state = CachePending // T3
+		e.value = value
+		c.touch(e)
+	case CachePending:
+		e.state = CacheStale // T4: superseded before the server persisted
+		e.value = nil
+	case CacheStale:
+		// T5: remains stale.
+	}
+}
+
+// OnServerAck applies the transitions for the server-ACK of an update to key
+// (T2, T6 in Figure 11).
+func (c *Cache) OnServerAck(key string) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	switch e.state {
+	case CachePending:
+		e.state = CachePersisted // T2
+	case CacheStale:
+		e.state = CacheInvalid // T6
+		e.value = nil
+	}
+}
+
+// OnReadResponse fills the cache from a server read response (step 5 in
+// Figure 10). It only installs the value when no in-flight update owns the
+// entry — overwriting a Pending/Stale entry with a possibly older server
+// value would break consistency.
+func (c *Cache) OnReadResponse(key string, value []byte) {
+	e, ok := c.entries[key]
+	if !ok {
+		if c.insert(key, CachePersisted, value) != nil {
+			c.stats.Fills++
+		}
+		return
+	}
+	if e.state == CacheInvalid {
+		e.state = CachePersisted
+		e.value = value
+		c.touch(e)
+		c.stats.Fills++
+	}
+}

@@ -1,0 +1,91 @@
+package dataplane
+
+import (
+	"testing"
+
+	"pmnet/internal/netsim"
+	"pmnet/internal/pmem"
+	"pmnet/internal/protocol"
+	"pmnet/internal/sim"
+)
+
+// TestHundredGigLineRate exercises the §VII claim: PMNet scales to 100 Gbps
+// by sizing the SRAM log queue to the PM bandwidth-delay product (Equation
+// 2: ~1.25 kB at 100 G). We blast back-to-back MTU updates at line rate and
+// verify every packet is logged (no queue-full bypasses): the queue hides
+// the PM access latency.
+func TestHundredGigLineRate(t *testing.T) {
+	eng := sim.NewEngine()
+	r := sim.NewRand(9)
+	net := netsim.New(eng, r.Fork())
+	stack := netsim.StackModel{} // zero-latency injector
+	client := netsim.NewHost(net, 1, "client", stack, 1, r.Fork())
+	server := netsim.NewHost(net, 2, "server", stack, 1, r.Fork())
+	_ = server
+
+	queueBytes := pmem.BDPQueueBytes(300, 100e9) * 4 // Eq.2 with headroom
+	pmCfg := pmem.DefaultConfig(32 << 20)
+	pmCfg.BandwidthBps = 12.5e9 // §VII: future PM with bandwidth matching 100G
+	dev := New(net, 10, "pmnet", Config{
+		QueueBytes: queueBytes,
+		EntryTTL:   -1,
+		PM:         pmCfg,
+	})
+	link := netsim.LinkConfig{PropDelay: 100 * sim.Nanosecond, Bandwidth: 100e9}
+	net.Connect(1, 10, link)
+	net.Connect(10, 2, link)
+
+	// 400 MTU-sized updates injected back-to-back at 100G line rate: one
+	// 1434B-payload packet every ~120 ns on the wire.
+	const n = 400
+	payload := make([]byte, 1400)
+	for i := 0; i < n; i++ {
+		msg := protocol.Fragment(protocol.TypeUpdateReq, 1, uint32(i+1), payload, 0)[0]
+		client.Send(&netsim.Packet{
+			To: 2, SrcPort: 40001, DstPort: protocol.PortMin, PMNet: true, Msg: msg,
+		})
+	}
+	eng.Run()
+	st := dev.Stats()
+	if st.Log.BypassedFull != 0 {
+		t.Fatalf("queue overflowed at line rate: %d bypasses (queue %dB)",
+			st.Log.BypassedFull, queueBytes)
+	}
+	if st.Log.Logged != n {
+		t.Fatalf("logged %d/%d", st.Log.Logged, n)
+	}
+	if st.AcksSent != n {
+		t.Fatalf("acked %d/%d", st.AcksSent, n)
+	}
+	maxUsed := dev.Queue().Stats().MaxUsedBytes
+	if maxUsed > queueBytes {
+		t.Fatalf("queue accounting broken: used %d > cap %d", maxUsed, queueBytes)
+	}
+	t.Logf("100G line rate: %d updates logged, peak queue %dB of %dB", n, maxUsed, queueBytes)
+}
+
+// TestTenGigQueueSizedByEquation2 verifies the 10 Gbps case the paper
+// provisions: the 4 KB queue never comes close to overflowing.
+func TestTenGigQueueSizedByEquation2(t *testing.T) {
+	eng := sim.NewEngine()
+	r := sim.NewRand(10)
+	net := netsim.New(eng, r.Fork())
+	stack := netsim.StackModel{}
+	client := netsim.NewHost(net, 1, "client", stack, 1, r.Fork())
+	netsim.NewHost(net, 2, "server", stack, 1, r.Fork())
+	dev := New(net, 10, "pmnet", Config{EntryTTL: -1})
+	link := netsim.LinkConfig{PropDelay: 600 * sim.Nanosecond, Bandwidth: 10e9}
+	net.Connect(1, 10, link)
+	net.Connect(10, 2, link)
+	payload := make([]byte, 1400)
+	for i := 0; i < 200; i++ {
+		msg := protocol.Fragment(protocol.TypeUpdateReq, 1, uint32(i+1), payload, 0)[0]
+		client.Send(&netsim.Packet{
+			To: 2, SrcPort: 40001, DstPort: protocol.PortMin, PMNet: true, Msg: msg,
+		})
+	}
+	eng.Run()
+	if dev.Stats().Log.BypassedFull != 0 {
+		t.Fatal("4KB queue overflowed at 10G line rate")
+	}
+}

@@ -1,0 +1,309 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmnet/internal/pmem"
+	"pmnet/internal/protocol"
+)
+
+// The PM log is an open-addressed table of fixed-size slots indexed by
+// HashVal modulo the slot count (§IV-B1: "The HashVal in the PMNet header
+// serves as the index to the log entry"). A colliding or oversized request
+// is bypassed — forwarded without logging or acknowledging — exactly as the
+// paper specifies.
+//
+// Slot layout on the PM media:
+//
+//	+0  valid  (1 byte: 0 empty, 1 valid)
+//	+1  reserved (1 byte)
+//	+2  length (2 bytes, big endian: encoded message bytes)
+//	+4  hash   (4 bytes, big endian: HashVal of the logged packet)
+//	+8  dst    (8 bytes, big endian: destination server node id — persisted
+//	            so TTL repair still works after a device restart)
+//	+16 message (protocol.Message wire form)
+const slotMetaSize = 16
+
+// slotState tracks the SRAM mirror of a slot's lifecycle. The mirror is
+// advisory (it avoids PM reads on the fast path); the PM contents are
+// authoritative and RebuildIndex reconstructs the mirror from them.
+type slotState uint8
+
+const (
+	slotEmpty slotState = iota
+	slotWriting
+	slotValid
+)
+
+type slotMeta struct {
+	state            slotState
+	hash             uint32
+	invalidateOnDone bool // server-ACK raced the PM write
+	dst              int  // destination server node (also persisted in the slot)
+	resends          int  // TTL resends performed (SRAM; resets on restart)
+}
+
+// LogTable manages the PM-resident request log behind the device's log
+// queues.
+type LogTable struct {
+	dev      *pmem.Device
+	queue    *pmem.Queue
+	slotSize int
+	slots    []slotMeta
+}
+
+// LogStats counts log activity.
+type LogStats struct {
+	Logged            uint64 // entries accepted and queued for persist
+	BypassedCollision uint64 // hash collision with a live entry
+	BypassedFull      uint64 // log queue had no room
+	BypassedOversize  uint64 // message larger than a slot
+	Invalidated       uint64 // entries reclaimed by server-ACKs
+	RetransHits       uint64
+	RetransMisses     uint64
+}
+
+// NewLogTable builds a table over dev with fixed slotSize bytes per entry,
+// fed through queue.
+func NewLogTable(dev *pmem.Device, queue *pmem.Queue, slotSize int) *LogTable {
+	if slotSize <= slotMetaSize {
+		panic("dataplane: slot size too small")
+	}
+	n := dev.Len() / slotSize
+	if n == 0 {
+		panic("dataplane: PM too small for a single slot")
+	}
+	return &LogTable{dev: dev, queue: queue, slotSize: slotSize, slots: make([]slotMeta, n)}
+}
+
+// Slots returns the number of slots in the table.
+func (t *LogTable) Slots() int { return len(t.slots) }
+
+// LiveEntries returns the number of valid (un-reclaimed) entries.
+func (t *LogTable) LiveEntries() int {
+	n := 0
+	for _, s := range t.slots {
+		if s.state == slotValid {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *LogTable) slotFor(hash uint32) int { return int(hash % uint32(len(t.slots))) }
+
+func (t *LogTable) slotOffset(i int) int { return i * t.slotSize }
+
+// insertResult describes the outcome of an Insert attempt.
+type insertResult uint8
+
+const (
+	insertAccepted insertResult = iota
+	insertCollision
+	insertQueueFull
+	insertOversize
+)
+
+// Insert attempts to log msg headed for dst. onPersist runs when the entry
+// is durable in the device PM — the moment PMNet may acknowledge the client.
+func (t *LogTable) Insert(msg protocol.Message, dst int, stats *LogStats, onPersist func()) insertResult {
+	wire := msg.Encode()
+	if len(wire)+slotMetaSize > t.slotSize {
+		stats.BypassedOversize++
+		return insertOversize
+	}
+	idx := t.slotFor(msg.Hdr.HashVal)
+	s := &t.slots[idx]
+	if s.state != slotEmpty && s.hash != msg.Hdr.HashVal {
+		stats.BypassedCollision++
+		return insertCollision
+	}
+	entry := make([]byte, slotMetaSize+len(wire))
+	entry[0] = 1
+	binary.BigEndian.PutUint16(entry[2:], uint16(len(wire)))
+	binary.BigEndian.PutUint32(entry[4:], msg.Hdr.HashVal)
+	binary.BigEndian.PutUint64(entry[8:], uint64(dst))
+	copy(entry[slotMetaSize:], wire)
+	ok := t.queue.TryWrite(t.slotOffset(idx), entry, func() {
+		switch {
+		case s.invalidateOnDone:
+			// A server-ACK arrived while the write was in the queue: the
+			// server has already processed the request, so reclaim
+			// immediately and do not acknowledge.
+			s.invalidateOnDone = false
+			t.reclaim(idx, stats)
+		default:
+			s.state = slotValid
+			if onPersist != nil {
+				onPersist()
+			}
+		}
+	})
+	if !ok {
+		stats.BypassedFull++
+		return insertQueueFull
+	}
+	s.state = slotWriting
+	s.hash = msg.Hdr.HashVal
+	s.dst = dst
+	s.resends = 0
+	stats.Logged++
+	return insertAccepted
+}
+
+// reclaim writes the tombstone and clears the mirror. Invalidation uses a
+// dedicated single-byte PM write that does not contend for log-queue space
+// (the paper's separate read/write log queues; a 1-byte tombstone is far
+// below the queue's granularity).
+func (t *LogTable) reclaim(idx int, stats *LogStats) {
+	off := t.slotOffset(idx)
+	if err := t.dev.WriteAt([]byte{0}, off); err != nil {
+		panic("dataplane: tombstone write failed: " + err.Error())
+	}
+	if err := t.dev.Persist(off, 1); err != nil {
+		panic("dataplane: tombstone persist failed: " + err.Error())
+	}
+	t.slots[idx] = slotMeta{}
+	stats.Invalidated++
+}
+
+// Invalidate processes a server-ACK for the request identified by hash.
+// Returns true if a matching live (or in-flight) entry was found.
+func (t *LogTable) Invalidate(hash uint32, stats *LogStats) bool {
+	idx := t.slotFor(hash)
+	s := &t.slots[idx]
+	switch {
+	case s.state == slotValid && s.hash == hash:
+		t.reclaim(idx, stats)
+		return true
+	case s.state == slotWriting && s.hash == hash:
+		s.invalidateOnDone = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Lookup schedules a PM read of the entry for hash; done receives the
+// decoded logged message. It returns false — without scheduling — when the
+// entry is absent or the read queue is full.
+func (t *LogTable) Lookup(hash uint32, stats *LogStats, done func(protocol.Message)) bool {
+	idx := t.slotFor(hash)
+	s := &t.slots[idx]
+	if s.state != slotValid || s.hash != hash {
+		stats.RetransMisses++
+		return false
+	}
+	ok := t.queue.TryRead(t.slotOffset(idx), t.slotSize, func(raw []byte) {
+		msg, err := decodeSlot(raw)
+		if err != nil {
+			// The entry was reclaimed (server-ACK tombstone) while this
+			// read sat in the PM queue: the request is already processed,
+			// so there is nothing to retransmit.
+			return
+		}
+		done(msg)
+	})
+	if !ok {
+		stats.RetransMisses++
+		return false
+	}
+	stats.RetransHits++
+	return true
+}
+
+func decodeSlot(raw []byte) (protocol.Message, error) {
+	msg, _, err := decodeSlotFull(raw)
+	return msg, err
+}
+
+func decodeSlotFull(raw []byte) (protocol.Message, int, error) {
+	if len(raw) < slotMetaSize || raw[0] != 1 {
+		return protocol.Message{}, 0, fmt.Errorf("empty slot")
+	}
+	n := int(binary.BigEndian.Uint16(raw[2:]))
+	if slotMetaSize+n > len(raw) {
+		return protocol.Message{}, 0, fmt.Errorf("bad length %d", n)
+	}
+	dst := int(binary.BigEndian.Uint64(raw[8:]))
+	msg, err := protocol.DecodeMessage(raw[slotMetaSize : slotMetaSize+n])
+	return msg, dst, err
+}
+
+// ValidSlots returns the indices of live entries in slot order; used by the
+// recovery resend loop.
+func (t *LogTable) ValidSlots() []int {
+	var out []int
+	for i, s := range t.slots {
+		if s.state == slotValid {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ValidSlotsFor returns the live entries destined for one server — the
+// recovery replay set when several servers share the device.
+func (t *LogTable) ValidSlotsFor(dst int) []int {
+	var out []int
+	for i, s := range t.slots {
+		if s.state == slotValid && s.dst == dst {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ReadSlot schedules a PM read of slot idx (which must be valid), invoking
+// done with the decoded message and ok=true — or ok=false when the entry was
+// reclaimed while the read sat in the PM queue. Used by the recovery and
+// TTL-repair paths; returns false without scheduling when the slot is
+// already empty or the read queue is full (caller retries later).
+func (t *LogTable) ReadSlot(idx int, done func(msg protocol.Message, ok bool)) bool {
+	if t.slots[idx].state != slotValid {
+		return false
+	}
+	return t.queue.TryRead(t.slotOffset(idx), t.slotSize, func(raw []byte) {
+		msg, err := decodeSlot(raw)
+		done(msg, err == nil)
+	})
+}
+
+// DebugLiveHeaders synchronously decodes the headers of all live entries —
+// for tests and diagnostics only (bypasses the queue/latency model).
+func (t *LogTable) DebugLiveHeaders() []protocol.Header {
+	var out []protocol.Header
+	buf := make([]byte, t.slotSize)
+	for _, i := range t.ValidSlots() {
+		if err := t.dev.ReadAt(buf, t.slotOffset(i)); err != nil {
+			continue
+		}
+		if msg, err := decodeSlot(buf); err == nil {
+			out = append(out, msg.Hdr)
+		}
+	}
+	return out
+}
+
+// RebuildIndex reconstructs the SRAM mirror by scanning the persistent
+// image — what a battery-backed PMNet device does when it restarts after
+// its own intermittent failure. In-flight queue writes must already have
+// been dropped (pmem.Queue.PowerFail).
+func (t *LogTable) RebuildIndex() {
+	buf := make([]byte, t.slotSize)
+	for i := range t.slots {
+		t.slots[i] = slotMeta{}
+		if err := t.dev.ReadAt(buf, t.slotOffset(i)); err != nil {
+			panic("dataplane: index scan failed: " + err.Error())
+		}
+		if buf[0] != 1 {
+			continue
+		}
+		msg, dst, err := decodeSlotFull(buf)
+		if err != nil {
+			continue // torn entry: treat as empty
+		}
+		t.slots[i] = slotMeta{state: slotValid, hash: msg.Hdr.HashVal, dst: dst}
+	}
+}

@@ -1,0 +1,258 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§VI) on the simulated testbed: one exported function per
+// experiment, each returning the rows the paper plots. Absolute numbers
+// come from the calibrated latency model (DESIGN.md §5); the comparisons —
+// who wins, by what factor, where the crossovers sit — are the
+// reproduction targets.
+package harness
+
+import (
+	"fmt"
+
+	"pmnet"
+	"pmnet/internal/apps"
+	"pmnet/internal/kv"
+	"pmnet/internal/rediskv"
+	"pmnet/internal/sim"
+	"pmnet/internal/stats"
+	"pmnet/internal/workload"
+)
+
+// Workload identifies a server application + generator pairing from the
+// paper's Table of workloads (§VI-A2).
+type Workload string
+
+// The paper's workloads.
+const (
+	WLBTree    Workload = "btree"
+	WLCTree    Workload = "ctree"
+	WLRBTree   Workload = "rbtree"
+	WLHashmap  Workload = "hashmap"
+	WLSkiplist Workload = "skiplist"
+	WLRedis    Workload = "redis"
+	WLTwitter  Workload = "twitter"
+	WLTPCC     Workload = "tpcc"
+	WLIdeal    Workload = "ideal" // §VI-B1 microbenchmark handler
+)
+
+// AllWorkloads lists the application workloads of Figure 19.
+var AllWorkloads = []Workload{
+	WLBTree, WLCTree, WLRBTree, WLHashmap, WLSkiplist, WLRedis, WLTwitter, WLTPCC,
+}
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	Design      pmnet.Design
+	Workload    Workload
+	Clients     int
+	Requests    int // completed requests per client (after warmup)
+	Warmup      int // discarded leading requests per client
+	UpdateRatio float64
+	ValueSize   int
+	Zipfian     bool
+	CacheSize   int // in-network read cache entries (0 = off)
+	Replication int
+	Stacks      pmnet.StackKind
+	Seed        uint64
+	Keys        int // keyspace (prefilled before measuring)
+	// CrossTrafficGbps injects background traffic toward the server for the
+	// duration of the run (tail-contention extension experiment).
+	CrossTrafficGbps float64
+}
+
+func (c *RunConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Requests <= 0 {
+		c.Requests = 300
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 100
+	}
+	if c.Keys <= 0 {
+		c.Keys = 2000
+	}
+	if c.UpdateRatio == 0 && c.Workload != WLIdeal {
+		c.UpdateRatio = 1.0
+	}
+}
+
+// RunResult aggregates one run.
+type RunResult struct {
+	Run    *stats.Run
+	Driver workload.DriverStats
+	Bed    *pmnet.Testbed
+}
+
+// buildHandler creates the server application for a workload, returning the
+// handler plus a prefill function run before measurement.
+func buildHandler(w Workload, cfg *RunConfig) (pmnet.Handler, func(), error) {
+	switch w {
+	case WLIdeal:
+		return pmnet.IdealHandler{}, func() {}, nil
+	case WLRedis, WLTwitter:
+		arena := kv.NewArena(64 << 20)
+		store, err := rediskv.Open(arena)
+		if err != nil {
+			return nil, nil, err
+		}
+		h := apps.NewRedisHandler(store, arena)
+		prefill := func() {
+			if w == WLRedis {
+				for i := 0; i < cfg.Keys; i++ {
+					if err := store.Set(workload.YCSBKey(i), make([]byte, cfg.ValueSize)); err != nil {
+						panic(err)
+					}
+				}
+				return
+			}
+			// Twitter: seed timelines and a few posts so reads hit data.
+			users := 1000
+			for u := 0; u < users; u += 7 {
+				_ = store.Set([]byte(fmt.Sprintf("post:c%d-1", u)), []byte("seed post"))
+				_, _ = store.LPush([]byte(fmt.Sprintf("timeline:%d", u)), []byte(fmt.Sprintf("c%d-1", u)), 100)
+			}
+			_ = store.Set([]byte("post:latest"), []byte("latest"))
+		}
+		return h, prefill, nil
+	case WLTPCC:
+		arena := kv.NewArena(64 << 20)
+		engine, err := kv.OpenHashmap(arena)
+		if err != nil {
+			return nil, nil, err
+		}
+		h := apps.NewKVHandler(engine, arena)
+		prefill := func() {
+			for wh := 0; wh < 4; wh++ {
+				for it := 0; it < 1000; it++ {
+					_ = engine.Put([]byte(fmt.Sprintf("tpcc:stock:%d:%d", wh, it)), []byte("100"))
+				}
+			}
+		}
+		return h, prefill, nil
+	default: // the five PMDK engines
+		factory, ok := kv.Factories[string(w)]
+		if !ok {
+			return nil, nil, fmt.Errorf("harness: unknown workload %q", w)
+		}
+		arena := kv.NewArena(128 << 20)
+		engine, err := factory(arena)
+		if err != nil {
+			return nil, nil, err
+		}
+		h := apps.NewKVHandler(engine, arena)
+		prefill := func() {
+			for i := 0; i < cfg.Keys; i++ {
+				if err := engine.Put(workload.YCSBKey(i), make([]byte, cfg.ValueSize)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return h, prefill, nil
+	}
+}
+
+// buildGenerator creates the per-client request generator.
+func buildGenerator(w Workload, cfg *RunConfig, clientID int, r *sim.Rand) workload.Generator {
+	switch w {
+	case WLTwitter:
+		return workload.NewTwitter(r, clientID, workload.TwitterConfig{
+			Users:       1000,
+			UpdateRatio: cfg.UpdateRatio,
+			PostLen:     cfg.ValueSize,
+		})
+	case WLTPCC:
+		return workload.NewTPCC(r, clientID, workload.TPCCConfig{UpdateRatio: cfg.UpdateRatio})
+	default:
+		return workload.NewYCSB(r, workload.YCSBConfig{
+			Keys:        cfg.Keys,
+			UpdateRatio: cfg.UpdateRatio,
+			ValueSize:   cfg.ValueSize,
+			Zipfian:     cfg.Zipfian,
+		})
+	}
+}
+
+// Run executes one experiment run and returns the merged statistics.
+func Run(cfg RunConfig) (*RunResult, error) {
+	cfg.defaults()
+	handler, prefill, err := buildHandler(cfg.Workload, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	bed := pmnet.NewTestbed(pmnet.Config{
+		Design:           cfg.Design,
+		Clients:          cfg.Clients,
+		Seed:             cfg.Seed,
+		Replication:      cfg.Replication,
+		CacheEntries:     cfg.CacheSize,
+		Stacks:           cfg.Stacks,
+		Handler:          handler,
+		CrossTrafficGbps: cfg.CrossTrafficGbps,
+	})
+	prefill()
+
+	rootRand := sim.NewRand(cfg.Seed + 77)
+	res := &RunResult{Bed: bed}
+	run := stats.NewRun(0)
+	var agg workload.DriverStats
+	remaining := cfg.Clients
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		gen := buildGenerator(cfg.Workload, &cfg, i, rootRand.Fork())
+		seen := 0
+		warm := cfg.Warmup
+		d := &workload.Driver{
+			Sess: bed.Session(i),
+			Gen:  gen,
+			Record: func(lat sim.Time, op workload.Op) {
+				seen++
+				if seen <= warm {
+					return
+				}
+				if run.Requests == 0 {
+					run.Start = bed.Now() - lat // measurement window opens post-warmup
+				}
+				run.Record(lat, bed.Now())
+			},
+		}
+		d.Run(bed.Engine, uint64(cfg.Requests+cfg.Warmup), func(s workload.DriverStats) {
+			agg.Completed += s.Completed
+			agg.Updates += s.Updates
+			agg.Bypasses += s.Bypasses
+			agg.LockOps += s.LockOps
+			agg.LockRetries += s.LockRetries
+			agg.Failed += s.Failed
+			remaining--
+			if remaining == 0 {
+				bed.StopBackground()
+			}
+		})
+	}
+	bed.Run()
+	if remaining != 0 {
+		return nil, fmt.Errorf("harness: %d clients never finished (deadlock?)", remaining)
+	}
+	res.Run = run
+	res.Driver = agg
+	return res, nil
+}
+
+// mustRun panics on error: experiments treat setup failure as fatal.
+func mustRun(cfg RunConfig) *RunResult {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// helpers for formatting ----------------------------------------------------
+
+func us(t sim.Time) string { return fmt.Sprintf("%.2f", t.Micros()) }
+
+func ratio(a, b float64) string { return fmt.Sprintf("%.2fx", a/b) }

@@ -1,0 +1,181 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"pmnet/internal/sim"
+)
+
+var orderedEngines = []string{"btree", "ctree", "rbtree", "skiplist"}
+
+func loadedEngine(t *testing.T, name string, n int) Engine {
+	t.Helper()
+	a := NewArena(16 << 20)
+	e, err := Factories[name](a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		// Fixed-width keys: every engine's iteration order is byte order.
+		if err := e.Put([]byte(fmt.Sprintf("key%05d", i)), []byte(fmt.Sprintf("val%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestScanOrderedEngines(t *testing.T) {
+	for _, name := range orderedEngines {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e := loadedEngine(t, name, 200)
+			pairs, err := Scan(e, []byte("key00050"), 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pairs) != 10 {
+				t.Fatalf("got %d pairs", len(pairs))
+			}
+			for i, p := range pairs {
+				wantK := fmt.Sprintf("key%05d", 50+i)
+				if string(p.Key) != wantK || string(p.Value) != fmt.Sprintf("val%05d", 50+i) {
+					t.Fatalf("pair %d = %q→%q, want %q", i, p.Key, p.Value, wantK)
+				}
+			}
+		})
+	}
+}
+
+func TestScanStartAtAbsentKey(t *testing.T) {
+	// The start bound need not be present: scanning from a deleted key
+	// yields its successor. (Equal-length start keeps the ctree's
+	// length-first order aligned with byte order.)
+	for _, name := range orderedEngines {
+		e := loadedEngine(t, name, 20)
+		if ok, err := e.Delete([]byte("key00006")); !ok || err != nil {
+			t.Fatalf("%s: delete: %v %v", name, ok, err)
+		}
+		pairs, err := Scan(e, []byte("key00006"), 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pairs) != 3 || string(pairs[0].Key) != "key00007" {
+			t.Fatalf("%s: pairs %v", name, pairs)
+		}
+	}
+}
+
+func TestScanPastEnd(t *testing.T) {
+	for _, name := range orderedEngines {
+		e := loadedEngine(t, name, 10)
+		pairs, err := Scan(e, []byte("key00008"), 100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pairs) != 2 {
+			t.Fatalf("%s: got %d pairs, want 2 (truncated at end)", name, len(pairs))
+		}
+		if pairs, _ = Scan(e, []byte("zzzzzzzz"), 5); len(pairs) != 0 {
+			t.Fatalf("%s: scan past the last key returned %d", name, len(pairs))
+		}
+	}
+}
+
+func TestScanEmptyAndZeroLimit(t *testing.T) {
+	for _, name := range orderedEngines {
+		a := NewArena(1 << 20)
+		e, _ := Factories[name](a)
+		if pairs, err := Scan(e, nil, 10); err != nil || len(pairs) != 0 {
+			t.Fatalf("%s: empty engine scan: %v %v", name, pairs, err)
+		}
+		full := loadedEngine(t, name, 5)
+		if pairs, err := Scan(full, nil, 0); err != nil || pairs != nil {
+			t.Fatalf("%s: zero limit: %v %v", name, pairs, err)
+		}
+	}
+}
+
+func TestScanHashmapUnordered(t *testing.T) {
+	e := loadedEngine(t, "hashmap", 10)
+	if _, err := Scan(e, nil, 5); !errors.Is(err, ErrUnordered) {
+		t.Fatalf("hashmap scan err = %v, want ErrUnordered", err)
+	}
+}
+
+// Property: for random fixed-width keyspaces, Scan(start, k) equals the
+// sorted model's answer, on every ordered engine.
+func TestQuickScanMatchesModel(t *testing.T) {
+	for _, name := range orderedEngines {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r := sim.NewRand(uint64(len(name)))
+			a := NewArena(16 << 20)
+			e, err := Factories[name](a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := map[string]string{}
+			for i := 0; i < 300; i++ {
+				k := fmt.Sprintf("k%04d", r.Intn(500))
+				v := fmt.Sprintf("v%d", i)
+				if err := e.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = v
+			}
+			keys := make([]string, 0, len(model))
+			for k := range model {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for trial := 0; trial < 50; trial++ {
+				start := fmt.Sprintf("k%04d", r.Intn(520))
+				limit := r.Intn(20) + 1
+				got, err := Scan(e, []byte(start), limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idx := sort.SearchStrings(keys, start)
+				want := keys[idx:]
+				if len(want) > limit {
+					want = want[:limit]
+				}
+				if len(got) != len(want) {
+					t.Fatalf("scan(%q,%d): %d pairs, want %d", start, limit, len(got), len(want))
+				}
+				for i := range want {
+					if !bytes.Equal(got[i].Key, []byte(want[i])) || string(got[i].Value) != model[want[i]] {
+						t.Fatalf("scan(%q,%d)[%d] = %q, want %q", start, limit, i, got[i].Key, want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestScanAfterDeletes(t *testing.T) {
+	for _, name := range orderedEngines {
+		e := loadedEngine(t, name, 30)
+		for i := 0; i < 30; i += 2 {
+			if ok, err := e.Delete([]byte(fmt.Sprintf("key%05d", i))); !ok || err != nil {
+				t.Fatalf("%s: delete: %v %v", name, ok, err)
+			}
+		}
+		pairs, err := Scan(e, nil, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pairs) != 15 {
+			t.Fatalf("%s: %d pairs after deletes, want 15", name, len(pairs))
+		}
+		for i, p := range pairs {
+			if string(p.Key) != fmt.Sprintf("key%05d", 2*i+1) {
+				t.Fatalf("%s: pair %d = %q", name, i, p.Key)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import "pmnet/internal/sim"
+
+// CrossTraffic injects background datagrams between two hosts at a target
+// rate — the shared-network contention (bandwidth, switch queues, links)
+// the paper names as the root of long tail latencies (§I). Inter-arrival
+// times are exponential (Poisson traffic); packets carry a tenant tag so
+// experiments can separate them from workload traffic.
+type CrossTraffic struct {
+	net       *Network
+	eng       *sim.Engine
+	rand      *sim.Rand
+	from, to  NodeID
+	size      int
+	meanGapNs float64
+	tenant    uint16
+	running   bool
+	sent      uint64
+}
+
+// NewCrossTraffic creates a generator pushing `size`-byte datagrams from →
+// to at targetBitsPerSec on average.
+func NewCrossTraffic(net *Network, rand *sim.Rand, from, to NodeID, size int, targetBitsPerSec float64, tenant uint16) *CrossTraffic {
+	if size <= 0 {
+		size = 1400
+	}
+	pktBits := float64((size + UDPOverhead) * 8)
+	return &CrossTraffic{
+		net:       net,
+		eng:       net.Engine(),
+		rand:      rand,
+		from:      from,
+		to:        to,
+		size:      size,
+		meanGapNs: pktBits / targetBitsPerSec * 1e9,
+		tenant:    tenant,
+	}
+}
+
+// Start begins injection; Stop halts it. The generator schedules one event
+// per packet, so a stopped generator leaves the event queue drainable.
+func (c *CrossTraffic) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.next()
+}
+
+// Stop halts injection after the current inter-arrival gap.
+func (c *CrossTraffic) Stop() { c.running = false }
+
+// Sent returns the number of packets injected.
+func (c *CrossTraffic) Sent() uint64 { return c.sent }
+
+func (c *CrossTraffic) next() {
+	if !c.running {
+		return
+	}
+	gap := sim.Time(c.rand.Exp(c.meanGapNs))
+	if gap < 1 {
+		gap = 1
+	}
+	c.eng.After(gap, func() {
+		if !c.running {
+			return
+		}
+		c.sent++
+		c.net.Transmit(&Packet{
+			To:     c.to,
+			From:   c.from,
+			Raw:    make([]byte, c.size),
+			Tenant: c.tenant,
+		}, c.from)
+		c.next()
+	})
+}

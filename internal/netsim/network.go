@@ -1,0 +1,262 @@
+package netsim
+
+import (
+	"fmt"
+
+	"pmnet/internal/sim"
+)
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	PropDelay  sim.Time // propagation latency (wire + PHY)
+	Bandwidth  float64  // bits per second; 0 means infinite (no serialization)
+	QueueBytes int      // egress queue capacity; 0 means unbounded
+	LossRate   float64  // random drop probability in [0,1)
+}
+
+// DefaultLink returns the testbed's 10 GbE link model: ~0.6 µs propagation
+// (intra-rack DAC cable + PHY/MAC) and a 512 KB egress buffer (a typical
+// shallow ToR per-port share).
+func DefaultLink() LinkConfig {
+	return LinkConfig{
+		PropDelay:  600 * sim.Nanosecond,
+		Bandwidth:  10e9,
+		QueueBytes: 512 << 10,
+	}
+}
+
+type link struct {
+	cfg     LinkConfig
+	busyAt  sim.Time // when the transmitter frees up
+	queued  int      // bytes awaiting/under serialization
+	dropped uint64
+	sent    uint64
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	Delivered   uint64
+	DroppedFull uint64 // drop-tail queue overflow
+	DroppedRand uint64 // random loss
+	DroppedDead uint64 // destination or next hop unreachable/failed
+}
+
+// Network owns the topology, routing and packet delivery.
+// It is single-threaded on the virtual clock.
+type Network struct {
+	eng    *sim.Engine
+	rand   *sim.Rand
+	nodes  map[NodeID]Node
+	names  map[NodeID]string
+	links  map[[2]NodeID]*link
+	routes map[NodeID]map[NodeID]NodeID // routes[at][dst] = next hop
+	down   map[NodeID]bool              // failed nodes drop all traffic
+	nextID uint64
+	stats  Stats
+}
+
+// New creates an empty network on eng. rand drives random loss; pass any
+// seeded generator.
+func New(eng *sim.Engine, rand *sim.Rand) *Network {
+	return &Network{
+		eng:    eng,
+		rand:   rand,
+		nodes:  make(map[NodeID]Node),
+		names:  make(map[NodeID]string),
+		links:  make(map[[2]NodeID]*link),
+		routes: make(map[NodeID]map[NodeID]NodeID),
+		down:   make(map[NodeID]bool),
+	}
+}
+
+// Engine returns the virtual clock driving this network.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Stats returns a copy of the delivery counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// AddNode attaches a node under the given name. Adding two nodes with the
+// same ID is a topology bug and panics.
+func (n *Network) AddNode(node Node, name string) {
+	id := node.ID()
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node id %d (%s)", id, name))
+	}
+	n.nodes[id] = node
+	n.names[id] = name
+}
+
+// Name returns the registered name of a node.
+func (n *Network) Name(id NodeID) string {
+	if s, ok := n.names[id]; ok {
+		return s
+	}
+	return fmt.Sprintf("node-%d", id)
+}
+
+// Connect creates a bidirectional link between a and b with the same config
+// in both directions. Both nodes must already be added.
+func (n *Network) Connect(a, b NodeID, cfg LinkConfig) {
+	if _, ok := n.nodes[a]; !ok {
+		panic(fmt.Sprintf("netsim: connect: unknown node %d", a))
+	}
+	if _, ok := n.nodes[b]; !ok {
+		panic(fmt.Sprintf("netsim: connect: unknown node %d", b))
+	}
+	n.links[[2]NodeID{a, b}] = &link{cfg: cfg}
+	n.links[[2]NodeID{b, a}] = &link{cfg: cfg}
+	n.routes = nil // invalidate; recomputed lazily
+}
+
+// computeRoutes runs BFS from every node to build next-hop tables.
+// Datacenter fabrics use flow-consistent (ECMP) load balancing; with our
+// tree/chain topologies there is a single shortest path, so plain BFS
+// reproduces in-order delivery within a flow (§IV-A4 footnote).
+func (n *Network) computeRoutes() {
+	n.routes = make(map[NodeID]map[NodeID]NodeID, len(n.nodes))
+	adj := make(map[NodeID][]NodeID)
+	for key := range n.links {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for src := range n.nodes {
+		// BFS from src, recording each node's parent; next hop from any
+		// node toward src is its parent on the BFS tree rooted at src.
+		parent := map[NodeID]NodeID{src: src}
+		queue := []NodeID{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if _, seen := parent[nb]; !seen {
+					parent[nb] = cur
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for node, par := range parent {
+			if node == src {
+				continue
+			}
+			if n.routes[node] == nil {
+				n.routes[node] = make(map[NodeID]NodeID)
+			}
+			n.routes[node][src] = par
+		}
+	}
+}
+
+// NextHop returns the neighbour to which `at` should forward traffic headed
+// for dst, and whether a route exists.
+func (n *Network) NextHop(at, dst NodeID) (NodeID, bool) {
+	if n.routes == nil {
+		n.computeRoutes()
+	}
+	hop, ok := n.routes[at][dst]
+	return hop, ok
+}
+
+// SetNodeDown marks a node failed (true) or restored (false). Failed nodes
+// silently drop every packet addressed to or traversing them.
+func (n *Network) SetNodeDown(id NodeID, down bool) {
+	n.down[id] = down
+}
+
+// NodeDown reports whether the node is currently failed.
+func (n *Network) NodeDown(id NodeID) bool { return n.down[id] }
+
+// NewPacketID mints a unique packet identity.
+func (n *Network) NewPacketID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// Transmit moves pkt one hop from `from` toward pkt.To, modelling the
+// egress link. Delivery invokes the next node's HandlePacket on the virtual
+// clock. Lost packets vanish (UDP semantics); recovery is the protocol
+// library's job.
+func (n *Network) Transmit(pkt *Packet, from NodeID) {
+	if pkt.ID == 0 {
+		pkt.ID = n.NewPacketID()
+	}
+	if n.down[from] {
+		n.stats.DroppedDead++
+		return
+	}
+	if from == pkt.To {
+		// Local delivery (loopback), e.g. a host talking to itself.
+		n.deliver(pkt, from)
+		return
+	}
+	hop, ok := n.NextHop(from, pkt.To)
+	if !ok {
+		n.stats.DroppedDead++
+		return
+	}
+	l := n.links[[2]NodeID{from, hop}]
+	if l == nil {
+		n.stats.DroppedDead++
+		return
+	}
+	size := pkt.Size()
+	if l.cfg.QueueBytes > 0 && l.queued+size > l.cfg.QueueBytes {
+		l.dropped++
+		n.stats.DroppedFull++
+		return
+	}
+	if l.cfg.LossRate > 0 && n.rand.Float64() < l.cfg.LossRate {
+		n.stats.DroppedRand++
+		return
+	}
+	var ser sim.Time
+	if l.cfg.Bandwidth > 0 {
+		ser = sim.Time(float64(size*8) / l.cfg.Bandwidth * 1e9)
+	}
+	now := n.eng.Now()
+	start := l.busyAt
+	if start < now {
+		start = now
+	}
+	l.queued += size
+	l.busyAt = start + ser
+	txDone := l.busyAt
+	l.sent++
+	n.eng.At(txDone, func() { l.queued -= size })
+	arrive := txDone + l.cfg.PropDelay
+	n.eng.At(arrive, func() {
+		pkt.Hops++
+		n.deliver(pkt, hop)
+	})
+}
+
+func (n *Network) deliver(pkt *Packet, at NodeID) {
+	if n.down[at] {
+		n.stats.DroppedDead++
+		return
+	}
+	node, ok := n.nodes[at]
+	if !ok {
+		n.stats.DroppedDead++
+		return
+	}
+	if at == pkt.To {
+		n.stats.Delivered++
+	}
+	node.HandlePacket(pkt)
+}
+
+// LinkQueueBytes reports the bytes currently queued on the a→b link; useful
+// in tests and for the Fig. 16 saturation experiment.
+func (n *Network) LinkQueueBytes(a, b NodeID) int {
+	if l := n.links[[2]NodeID{a, b}]; l != nil {
+		return l.queued
+	}
+	return 0
+}
+
+// LinkDrops reports drop-tail losses on the a→b link.
+func (n *Network) LinkDrops(a, b NodeID) uint64 {
+	if l := n.links[[2]NodeID{a, b}]; l != nil {
+		return l.dropped
+	}
+	return 0
+}

@@ -1,0 +1,69 @@
+// Package netsim provides the simulated datacenter network substrate:
+// nodes (hosts, switches, PMNet devices) connected by links with
+// propagation delay, serialization at a configured line rate, bounded
+// drop-tail queues, and optional random loss. Routing is hop-by-hop so
+// in-network devices observe — and may act on — every packet that crosses
+// them, which is precisely what the PMNet data plane requires.
+package netsim
+
+import (
+	"fmt"
+
+	"pmnet/internal/protocol"
+	"pmnet/internal/sim"
+)
+
+// NodeID identifies a node in the network.
+type NodeID int
+
+// UDPOverhead is the per-packet wire overhead we charge for Ethernet + IP +
+// UDP headers (14+20+8 plus preamble/FCS rounding).
+const UDPOverhead = 46
+
+// Packet is one datagram in flight. PMNet traffic carries a decoded
+// protocol.Message; other traffic carries only Raw bytes.
+type Packet struct {
+	ID       uint64 // unique per network, for tracing
+	From, To NodeID // source and final destination hosts
+	SrcPort  uint16
+	DstPort  uint16
+
+	Msg    protocol.Message // valid when PMNet is true
+	PMNet  bool             // PMNet header present (dst port in reserved range)
+	Raw    []byte           // non-PMNet payload
+	Tenant uint16           // background-traffic tag (0 = workload traffic)
+
+	SentAt sim.Time // when the sending host's app handed it to the stack
+	Hops   int      // number of links traversed so far
+}
+
+// Size returns the bytes the packet occupies on the wire.
+func (p *Packet) Size() int {
+	if p.PMNet {
+		return UDPOverhead + p.Msg.WireSize()
+	}
+	return UDPOverhead + len(p.Raw)
+}
+
+func (p *Packet) String() string {
+	if p.PMNet {
+		return fmt.Sprintf("pkt#%d %d->%d [%v]", p.ID, p.From, p.To, p.Msg.Hdr)
+	}
+	return fmt.Sprintf("pkt#%d %d->%d raw(%dB)", p.ID, p.From, p.To, len(p.Raw))
+}
+
+// Clone returns a shallow copy with a fresh identity, used when a device
+// mirrors or regenerates a packet (e.g. a PMNet retransmission).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Hops = 0
+	return &q
+}
+
+// Node is anything attached to the network. HandlePacket is invoked when a
+// packet arrives at the node — whether the node is the final destination or
+// an intermediate device that must decide to forward it.
+type Node interface {
+	ID() NodeID
+	HandlePacket(pkt *Packet)
+}

@@ -1,0 +1,43 @@
+package netsim
+
+import "pmnet/internal/sim"
+
+// Switch is a plain (non-programmable) cut-through switch: it forwards every
+// packet toward its destination after a fixed sub-microsecond pipeline
+// latency, the "regular switch" the paper places between the clients and
+// the FPGA (§VI-A1).
+type Switch struct {
+	id      NodeID
+	net     *Network
+	latency sim.Time
+	seen    uint64
+}
+
+// NewSwitch creates a switch with the given forwarding latency and registers
+// it under name.
+func NewSwitch(net *Network, id NodeID, name string, latency sim.Time) *Switch {
+	s := &Switch{id: id, net: net, latency: latency}
+	net.AddNode(s, name)
+	return s
+}
+
+// DefaultSwitchLatency is the sub-microsecond forwarding delay of a
+// datacenter ToR switch.
+const DefaultSwitchLatency = 500 * sim.Nanosecond
+
+// ID implements Node.
+func (s *Switch) ID() NodeID { return s.id }
+
+// Forwarded returns the number of packets this switch has forwarded.
+func (s *Switch) Forwarded() uint64 { return s.seen }
+
+// HandlePacket implements Node by forwarding toward the destination.
+func (s *Switch) HandlePacket(pkt *Packet) {
+	if pkt.To == s.id {
+		return // addressed to the switch itself: sink it
+	}
+	s.seen++
+	s.net.Engine().After(s.latency, func() {
+		s.net.Transmit(pkt, s.id)
+	})
+}

@@ -1,0 +1,221 @@
+// Package pmem simulates a byte-addressable persistent memory device.
+//
+// It stands in for the battery-backed DRAM / Optane DCPMM used by the PMNet
+// paper (§V-A): writes land in a volatile buffer first and only become
+// durable after an explicit persist (or the modelled media latency elapses,
+// for the DMA queue in queue.go). A power failure discards everything that
+// had not reached the persistence domain, which is exactly the property the
+// PMNet recovery protocol depends on.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+
+	"pmnet/internal/sim"
+)
+
+// Config describes the simulated device. Defaults follow the paper: the
+// FPGA's DRAM write latency is 273 ns ("close to Optane PM's write latency")
+// and the per-DIMM bandwidth is 2.5 GB/s (§VII).
+type Config struct {
+	Capacity     int      // bytes of persistent media
+	WriteLatency sim.Time // media write (persist) latency per operation
+	ReadLatency  sim.Time // media read latency per operation
+	BandwidthBps float64  // media bandwidth in bytes per second
+	LineSize     int      // persistence granularity in bytes
+}
+
+// DefaultConfig returns the paper-calibrated device configuration with the
+// given capacity.
+func DefaultConfig(capacity int) Config {
+	return Config{
+		Capacity:     capacity,
+		WriteLatency: 273,   // ns, §V-A
+		ReadLatency:  170,   // ns, Optane-class read
+		BandwidthBps: 2.5e9, // 2.5 GB/s, §VII
+		LineSize:     256,   // Optane internal write granularity
+	}
+}
+
+// Errors returned by Device operations.
+var (
+	ErrOutOfRange = errors.New("pmem: access out of range")
+)
+
+// Stats counts device activity for reporting and tests.
+type Stats struct {
+	Writes        uint64
+	BytesWritten  uint64
+	Reads         uint64
+	BytesRead     uint64
+	Persists      uint64
+	PowerFailures uint64
+}
+
+// Device is a simulated PM DIMM. It maintains two images: the volatile view
+// (what a running program reads back) and the persistent view (what survives
+// power failure). WriteAt updates the volatile view and marks lines dirty;
+// Persist copies dirty lines into the persistent image; PowerFail rolls the
+// volatile view back to the persistent image.
+//
+// Device is not safe for concurrent use; in this codebase every device is
+// owned by a single simulated component on the single-threaded virtual clock.
+type Device struct {
+	cfg      Config
+	volatile []byte
+	durable  []byte
+	dirty    []bool // one flag per line
+	stats    Stats
+}
+
+// NewDevice creates a zeroed device. It panics on a non-positive capacity or
+// line size: those are construction-time programming errors.
+func NewDevice(cfg Config) *Device {
+	if cfg.Capacity <= 0 {
+		panic("pmem: non-positive capacity")
+	}
+	if cfg.LineSize <= 0 {
+		cfg.LineSize = 256
+	}
+	lines := (cfg.Capacity + cfg.LineSize - 1) / cfg.LineSize
+	return &Device{
+		cfg:      cfg,
+		volatile: make([]byte, cfg.Capacity),
+		durable:  make([]byte, cfg.Capacity),
+		dirty:    make([]bool, lines),
+	}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Len returns the device capacity in bytes.
+func (d *Device) Len() int { return len(d.volatile) }
+
+// Stats returns a copy of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+func (d *Device) check(off, n int) error {
+	if off < 0 || n < 0 || off+n > len(d.volatile) {
+		return fmt.Errorf("%w: [%d, %d) of %d", ErrOutOfRange, off, off+n, len(d.volatile))
+	}
+	return nil
+}
+
+// WriteAt stores p into the volatile view at off and marks the touched lines
+// dirty. The data is NOT durable until Persist covers it.
+func (d *Device) WriteAt(p []byte, off int) error {
+	if err := d.check(off, len(p)); err != nil {
+		return err
+	}
+	copy(d.volatile[off:], p)
+	for line := off / d.cfg.LineSize; line <= (off+len(p)-1)/d.cfg.LineSize && len(p) > 0; line++ {
+		d.dirty[line] = true
+	}
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(len(p))
+	return nil
+}
+
+// ReadAt fills p from the volatile view at off.
+func (d *Device) ReadAt(p []byte, off int) error {
+	if err := d.check(off, len(p)); err != nil {
+		return err
+	}
+	copy(p, d.volatile[off:])
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(len(p))
+	return nil
+}
+
+// Persist makes the range [off, off+n) durable, copying any dirty lines it
+// covers into the persistent image. This models clwb/sfence (or the DMA
+// engine's write completion) at line granularity: persisting any byte of a
+// line persists the whole line, as on real hardware.
+func (d *Device) Persist(off, n int) error {
+	if err := d.check(off, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	first := off / d.cfg.LineSize
+	last := (off + n - 1) / d.cfg.LineSize
+	for line := first; line <= last; line++ {
+		if d.dirty[line] {
+			lo := line * d.cfg.LineSize
+			hi := lo + d.cfg.LineSize
+			if hi > len(d.volatile) {
+				hi = len(d.volatile)
+			}
+			copy(d.durable[lo:hi], d.volatile[lo:hi])
+			d.dirty[line] = false
+		}
+	}
+	d.stats.Persists++
+	return nil
+}
+
+// PersistAll flushes every dirty line.
+func (d *Device) PersistAll() {
+	_ = d.Persist(0, len(d.volatile))
+}
+
+// Persisted reports whether the whole range [off, off+n) is durable (no
+// dirty line overlaps it).
+func (d *Device) Persisted(off, n int) bool {
+	if d.check(off, n) != nil || n == 0 {
+		return n == 0
+	}
+	first := off / d.cfg.LineSize
+	last := (off + n - 1) / d.cfg.LineSize
+	for line := first; line <= last; line++ {
+		if d.dirty[line] {
+			return false
+		}
+	}
+	return true
+}
+
+// PowerFail simulates an abrupt power loss: the volatile view reverts to the
+// persistent image and all dirty flags clear. The device remains usable
+// afterwards (intermittent-failure model, §IV-E1).
+func (d *Device) PowerFail() {
+	copy(d.volatile, d.durable)
+	for i := range d.dirty {
+		d.dirty[i] = false
+	}
+	d.stats.PowerFailures++
+}
+
+// WriteCost returns the modelled virtual-time cost of persisting n bytes:
+// media latency plus serialization at the device bandwidth.
+func (d *Device) WriteCost(n int) sim.Time {
+	ser := sim.Time(float64(n) / d.cfg.BandwidthBps * 1e9)
+	return d.cfg.WriteLatency + ser
+}
+
+// ReadCost returns the modelled cost of reading n bytes.
+func (d *Device) ReadCost(n int) sim.Time {
+	ser := sim.Time(float64(n) / d.cfg.BandwidthBps * 1e9)
+	return d.cfg.ReadLatency + ser
+}
+
+// BDPBits computes a bandwidth-delay product in bits (Equations 1 and 2 of
+// the paper): delay × bandwidth.
+func BDPBits(delay sim.Time, bandwidthBitsPerSec float64) float64 {
+	return float64(delay) / 1e9 * bandwidthBitsPerSec
+}
+
+// BDPLogBytes returns the PM capacity in bytes needed to hold all in-flight
+// update requests: Equation 1 with the worst-case RTT.
+func BDPLogBytes(maxRTT sim.Time, networkBitsPerSec float64) int {
+	return int(BDPBits(maxRTT, networkBitsPerSec) / 8)
+}
+
+// BDPQueueBytes returns the SRAM log-queue size in bytes needed to hide the
+// PM access latency: Equation 2.
+func BDPQueueBytes(pmLatency sim.Time, networkBitsPerSec float64) int {
+	return int(BDPBits(pmLatency, networkBitsPerSec) / 8)
+}

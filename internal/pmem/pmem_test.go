@@ -1,0 +1,366 @@
+package pmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"pmnet/internal/sim"
+)
+
+func newDev(capacity int) *Device {
+	return NewDevice(DefaultConfig(capacity))
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newDev(4096)
+	msg := []byte("hello persistent world")
+	if err := d.WriteAt(msg, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := d.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q, want %q", got, msg)
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	d := newDev(128)
+	cases := []struct {
+		off, n int
+	}{
+		{-1, 4}, {120, 16}, {0, 129}, {128, 1},
+	}
+	for _, c := range cases {
+		if err := d.WriteAt(make([]byte, c.n), c.off); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("WriteAt(%d,%d) err = %v, want ErrOutOfRange", c.off, c.n, err)
+		}
+		if err := d.ReadAt(make([]byte, c.n), c.off); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("ReadAt(%d,%d) err = %v, want ErrOutOfRange", c.off, c.n, err)
+		}
+	}
+}
+
+func TestUnpersistedWriteLostOnPowerFail(t *testing.T) {
+	d := newDev(4096)
+	if err := d.WriteAt([]byte{1, 2, 3, 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerFail()
+	got := make([]byte, 4)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatalf("unpersisted write survived power failure: %v", got)
+	}
+}
+
+func TestPersistedWriteSurvivesPowerFail(t *testing.T) {
+	d := newDev(4096)
+	msg := []byte{9, 8, 7, 6}
+	if err := d.WriteAt(msg, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Persist(512, 4); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerFail()
+	got := make([]byte, 4)
+	if err := d.ReadAt(got, 512); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("persisted write lost: %v", got)
+	}
+}
+
+func TestPersistLineGranularity(t *testing.T) {
+	d := newDev(4096) // line size 256
+	// Two writes within the same line; persisting one byte persists the line.
+	if err := d.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte{2}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Persist(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerFail()
+	got := make([]byte, 101)
+	_ = d.ReadAt(got, 0)
+	if got[0] != 1 || got[100] != 2 {
+		t.Fatalf("line-granular persist broke: got[0]=%d got[100]=%d", got[0], got[100])
+	}
+}
+
+func TestPersistedPredicate(t *testing.T) {
+	d := newDev(4096)
+	_ = d.WriteAt([]byte{1, 2, 3}, 300)
+	if d.Persisted(300, 3) {
+		t.Fatal("dirty range reported persisted")
+	}
+	_ = d.Persist(300, 3)
+	if !d.Persisted(300, 3) {
+		t.Fatal("persisted range reported dirty")
+	}
+	if !d.Persisted(0, 0) {
+		t.Fatal("empty range should always be persisted")
+	}
+}
+
+func TestPersistAll(t *testing.T) {
+	d := newDev(4096)
+	_ = d.WriteAt([]byte{5}, 0)
+	_ = d.WriteAt([]byte{6}, 4000)
+	d.PersistAll()
+	d.PowerFail()
+	b := make([]byte, 1)
+	_ = d.ReadAt(b, 0)
+	if b[0] != 5 {
+		t.Fatal("PersistAll missed offset 0")
+	}
+	_ = d.ReadAt(b, 4000)
+	if b[0] != 6 {
+		t.Fatal("PersistAll missed offset 4000")
+	}
+}
+
+func TestDeviceStats(t *testing.T) {
+	d := newDev(1024)
+	_ = d.WriteAt(make([]byte, 10), 0)
+	_ = d.ReadAt(make([]byte, 5), 0)
+	_ = d.Persist(0, 10)
+	d.PowerFail()
+	s := d.Stats()
+	if s.Writes != 1 || s.BytesWritten != 10 {
+		t.Errorf("write stats: %+v", s)
+	}
+	if s.Reads != 1 || s.BytesRead != 5 {
+		t.Errorf("read stats: %+v", s)
+	}
+	if s.Persists != 1 || s.PowerFailures != 1 {
+		t.Errorf("persist/failure stats: %+v", s)
+	}
+}
+
+func TestWriteCostModel(t *testing.T) {
+	d := newDev(1024)
+	// 273 ns latency + 100 B at 2.5 GB/s = 40 ns serialization.
+	if c := d.WriteCost(100); c != 273+40 {
+		t.Fatalf("WriteCost(100) = %v, want 313ns", c)
+	}
+	if c := d.ReadCost(0); c != 170 {
+		t.Fatalf("ReadCost(0) = %v, want 170ns", c)
+	}
+}
+
+func TestBDPEquations(t *testing.T) {
+	// Equation 1: 500 µs × 10 Gbps ≈ 5 Mbit.
+	bits := BDPBits(500*sim.Microsecond, 10e9)
+	if bits < 4.9e6 || bits > 5.1e6 {
+		t.Fatalf("Eq.1 BDP = %v bits, want ≈5e6", bits)
+	}
+	// Equation 2: 100 ns × 10 Gbps ≈ 1 kbit.
+	bits = BDPBits(100, 10e9)
+	if bits < 990 || bits > 1010 {
+		t.Fatalf("Eq.2 BDP = %v bits, want ≈1000", bits)
+	}
+	// §VII quotes 62.5 MB (= 500 Mbit) of log PM at 100 Gbps; applying
+	// Equation 1 literally (500 µs × 100 Gbps) gives 50 Mbit = 6.25 MB, so
+	// we pin the equation, not the prose.
+	if got := BDPLogBytes(500*sim.Microsecond, 100e9); got != 6_250_000 {
+		t.Fatalf("BDPLogBytes @100G = %d, want 6250000", got)
+	}
+	if got := BDPQueueBytes(100, 100e9); got != 1250 {
+		t.Fatalf("BDPQueueBytes @100G = %d, want 1250", got)
+	}
+}
+
+func TestNewDevicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDevice with zero capacity did not panic")
+		}
+	}()
+	NewDevice(Config{Capacity: 0})
+}
+
+func TestQueueWriteCompletesWithLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(4096)
+	q := NewQueue(eng, d, 4096)
+	var doneAt sim.Time
+	ok := q.TryWrite(0, []byte("abcd"), func() { doneAt = eng.Now() })
+	if !ok {
+		t.Fatal("TryWrite rejected with empty queue")
+	}
+	eng.Run()
+	want := d.WriteCost(4)
+	if doneAt != want {
+		t.Fatalf("write completed at %v, want %v", doneAt, want)
+	}
+	if !d.Persisted(0, 4) {
+		t.Fatal("queued write not persisted after completion")
+	}
+	got := make([]byte, 4)
+	_ = d.ReadAt(got, 0)
+	if string(got) != "abcd" {
+		t.Fatalf("device holds %q", got)
+	}
+}
+
+func TestQueueSerializesMedia(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(4096)
+	q := NewQueue(eng, d, 4096)
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		off := i * 100
+		if !q.TryWrite(off, make([]byte, 100), func() { times = append(times, eng.Now()) }) {
+			t.Fatal("queue rejected")
+		}
+	}
+	eng.Run()
+	// The DMA engine pipelines: the channel serializes at bandwidth (40 ns
+	// per 100 B at 2.5 GB/s) while the 273 ns media latency overlaps.
+	ser := sim.Time(40)
+	for i, at := range times {
+		want := ser*sim.Time(i+1) + 273
+		if at != want {
+			t.Fatalf("write %d done at %v, want %v (pipelined)", i, at, want)
+		}
+	}
+}
+
+func TestQueueRejectsWhenFull(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(65536)
+	q := NewQueue(eng, d, 1024)
+	if !q.TryWrite(0, make([]byte, 1000), nil) {
+		t.Fatal("first write rejected")
+	}
+	if q.TryWrite(1000, make([]byte, 100), nil) {
+		t.Fatal("overflow write accepted")
+	}
+	s := q.Stats()
+	if s.WritesAccepted != 1 || s.WritesRejected != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	eng.Run()
+	// After draining there is room again.
+	if !q.TryWrite(1000, make([]byte, 100), nil) {
+		t.Fatal("write rejected after drain")
+	}
+}
+
+func TestQueueRead(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(4096)
+	_ = d.WriteAt([]byte("logged"), 64)
+	_ = d.Persist(64, 6)
+	q := NewQueue(eng, d, 4096)
+	var got []byte
+	if !q.TryRead(64, 6, func(b []byte) { got = b }) {
+		t.Fatal("TryRead rejected")
+	}
+	eng.Run()
+	if string(got) != "logged" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestQueuePowerFailDropsInFlight(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(4096)
+	q := NewQueue(eng, d, 4096)
+	fired := false
+	q.TryWrite(0, []byte{1, 2, 3}, func() { fired = true })
+	if q.InFlight() != 1 {
+		t.Fatalf("InFlight = %d", q.InFlight())
+	}
+	q.PowerFail()
+	d.PowerFail()
+	eng.Run()
+	if fired {
+		t.Fatal("completion fired after power failure")
+	}
+	if q.InFlight() != 0 || q.UsedBytes() != 0 {
+		t.Fatal("queue not emptied by power failure")
+	}
+	b := make([]byte, 3)
+	_ = d.ReadAt(b, 0)
+	if b[0] != 0 {
+		t.Fatal("data leaked to device across power failure")
+	}
+	if q.Stats().Dropped != 1 {
+		t.Fatalf("Dropped = %d", q.Stats().Dropped)
+	}
+	// Queue must be usable after restart.
+	ok := q.TryWrite(0, []byte{7}, nil)
+	if !ok {
+		t.Fatal("queue unusable after power failure")
+	}
+	eng.Run()
+	_ = d.ReadAt(b[:1], 0)
+	if b[0] != 7 {
+		t.Fatal("post-restart write did not land")
+	}
+}
+
+func TestQueueMaxUsedTracking(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(4096)
+	q := NewQueue(eng, d, 4096)
+	q.TryWrite(0, make([]byte, 300), nil)
+	q.TryWrite(300, make([]byte, 300), nil)
+	if q.Stats().MaxUsedBytes != 600 {
+		t.Fatalf("MaxUsedBytes = %d, want 600", q.Stats().MaxUsedBytes)
+	}
+	eng.Run()
+	if q.UsedBytes() != 0 {
+		t.Fatalf("UsedBytes = %d after drain", q.UsedBytes())
+	}
+}
+
+// Property: any interleaving of writes/persists/power failures leaves the
+// device consistent with a model that only retains persisted lines.
+func TestQuickCrashConsistency(t *testing.T) {
+	type op struct {
+		Kind byte // 0 write, 1 persist-all, 2 powerfail
+		Off  uint16
+		Val  byte
+	}
+	const size = 2048
+	f := func(ops []op) bool {
+		d := newDev(size)
+		model := make([]byte, size)    // persisted image
+		volatile := make([]byte, size) // what reads should see
+		copy(volatile, model)
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				off := int(o.Off) % size
+				_ = d.WriteAt([]byte{o.Val}, off)
+				volatile[off] = o.Val
+			case 1:
+				d.PersistAll()
+				copy(model, volatile)
+			case 2:
+				d.PowerFail()
+				copy(volatile, model)
+			}
+		}
+		got := make([]byte, size)
+		_ = d.ReadAt(got, 0)
+		return bytes.Equal(got, volatile)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

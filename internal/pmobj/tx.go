@@ -1,0 +1,225 @@
+package pmobj
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Tx is a redo-log transaction: writes (and allocator operations) buffer in
+// volatile memory and become durable atomically at Commit. A crash before
+// Commit leaves the arena untouched; a crash during Commit is repaired by
+// redo replay at the next Open/Reopen.
+//
+// Reads inside a transaction that must observe the transaction's own writes
+// go through Tx.ReadU64 (overlay semantics); plain Arena reads see the
+// pre-transaction state.
+type Tx struct {
+	a      *Arena
+	ops    []writeOp
+	bump   uint64         // pending bump pointer
+	heads  map[int]uint64 // size class → pending free-list head
+	allocs int
+	frees  int
+	closed bool
+}
+
+// Begin starts a transaction. Nested transactions are a programming error
+// and panic.
+func (a *Arena) Begin() *Tx {
+	if a.tx != nil {
+		panic(ErrTxActive)
+	}
+	tx := &Tx{
+		a:     a,
+		bump:  a.readU64(offBump),
+		heads: make(map[int]uint64),
+	}
+	a.tx = tx
+	return tx
+}
+
+// Update runs fn inside a transaction and commits; any error aborts.
+func (a *Arena) Update(fn func(tx *Tx) error) error {
+	tx := a.Begin()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	tx.Commit()
+	return nil
+}
+
+// WriteU64 buffers a u64 store.
+func (tx *Tx) WriteU64(off, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	tx.WriteBytes(off, b[:])
+}
+
+// WriteBytes buffers a byte-range store.
+func (tx *Tx) WriteBytes(off uint64, data []byte) {
+	if tx.closed {
+		panic("pmobj: write on closed tx")
+	}
+	d := make([]byte, len(data))
+	copy(d, data)
+	tx.ops = append(tx.ops, writeOp{off: off, data: d})
+}
+
+// ReadU64 reads a u64 with read-your-writes semantics: the latest buffered
+// store to off wins, falling back to the committed state.
+func (tx *Tx) ReadU64(off uint64) uint64 {
+	for i := len(tx.ops) - 1; i >= 0; i-- {
+		op := tx.ops[i]
+		if off >= op.off && off+8 <= op.off+uint64(len(op.data)) {
+			return binary.BigEndian.Uint64(op.data[off-op.off:])
+		}
+	}
+	return tx.a.readU64(off)
+}
+
+// SetRoot stores the application root offset.
+func (tx *Tx) SetRoot(off uint64) { tx.WriteU64(offRoot, off) }
+
+// headOf reads a free-list head with the transaction overlay.
+func (tx *Tx) headOf(c int) uint64 {
+	if h, ok := tx.heads[c]; ok {
+		return h
+	}
+	return tx.a.readU64(uint64(offFreeBase + 8*c))
+}
+
+// Alloc reserves a block of at least n bytes and returns its offset. The
+// allocation becomes durable only if the transaction commits.
+func (tx *Tx) Alloc(n int) (uint64, error) {
+	if tx.closed {
+		panic("pmobj: alloc on closed tx")
+	}
+	c, err := classFor(n)
+	if err != nil {
+		return 0, err
+	}
+	if head := tx.headOf(c); head != 0 {
+		// Pop the free list; the next pointer lives in the block's first 8
+		// bytes and may have been written by this very transaction (free
+		// then alloc), so use the overlay read.
+		tx.heads[c] = tx.ReadU64(head)
+		tx.allocs++
+		return head, nil
+	}
+	size := uint64(classSize(c))
+	off := tx.bump
+	if off+size > uint64(tx.a.dev.Len()) {
+		return 0, fmt.Errorf("%w: need %d bytes past %d (device %d)",
+			ErrOutOfMemory, size, off, tx.a.dev.Len())
+	}
+	tx.bump += size
+	tx.allocs++
+	return off, nil
+}
+
+// Free returns a block of (original request size) n at off to its size
+// class's free list.
+func (tx *Tx) Free(off uint64, n int) {
+	if tx.closed {
+		panic("pmobj: free on closed tx")
+	}
+	c, err := classFor(n)
+	if err != nil {
+		panic("pmobj: free of oversized block")
+	}
+	tx.WriteU64(off, tx.headOf(c))
+	tx.heads[c] = off
+	tx.frees++
+}
+
+// Abort discards the transaction: nothing reaches the device.
+func (tx *Tx) Abort() {
+	tx.closed = true
+	tx.a.tx = nil
+}
+
+// Commit makes every buffered write (and the allocator state) durable
+// atomically:
+//
+//  1. Serialize all ops into the redo region and persist.
+//  2. Persist the committed flag (the linearization point).
+//  3. Apply ops to their home locations and persist.
+//  4. Clear the flag.
+//
+// A crash before (2) discards the transaction; after (2), Open/Reopen
+// replays it.
+func (tx *Tx) Commit() {
+	if tx.closed {
+		panic("pmobj: double commit")
+	}
+	a := tx.a
+	// Fold allocator state into the op list.
+	tx.WriteU64(offBump, tx.bump)
+	for c, h := range tx.heads {
+		tx.WriteU64(uint64(offFreeBase+8*c), h)
+	}
+
+	base := a.redoBase()
+	var total int
+	for _, op := range tx.ops {
+		total += 12 + len(op.data)
+	}
+	if redoOps+total > a.redoBytes {
+		panic(fmt.Sprintf("pmobj: transaction too large for redo region (%d > %d)",
+			total, a.redoBytes-redoOps))
+	}
+	// (1) write ops into the redo region.
+	pos := base + redoOps
+	var hdr [8]byte
+	for _, op := range tx.ops {
+		var meta [12]byte
+		binary.BigEndian.PutUint64(meta[:8], op.off)
+		binary.BigEndian.PutUint32(meta[8:], uint32(len(op.data)))
+		mustWrite(a, pos, meta[:])
+		mustWrite(a, pos+12, op.data)
+		pos += 12 + uint64(len(op.data))
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(tx.ops)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(total))
+	mustWrite(a, base+redoCount, hdr[:])
+	a.persist(int(base+redoCount), 8+total)
+	if a.CrashHook != nil && a.CrashHook(1) {
+		tx.closed = true
+		a.tx = nil
+		return
+	}
+	// (2) committed flag: linearization point.
+	a.writeU64(base+redoFlag, magic)
+	a.persist(int(base+redoFlag), 8)
+	if a.CrashHook != nil && a.CrashHook(2) {
+		tx.closed = true
+		a.tx = nil
+		return
+	}
+	// (3) apply home-location writes.
+	for i, op := range tx.ops {
+		mustWrite(a, op.off, op.data)
+		a.persist(int(op.off), len(op.data))
+		if i == len(tx.ops)/2 && a.CrashHook != nil && a.CrashHook(3) {
+			tx.closed = true
+			a.tx = nil
+			return
+		}
+	}
+	// (4) clear the flag.
+	a.writeU64(base+redoFlag, 0)
+	a.persist(int(base+redoFlag), 8)
+
+	a.stats.Commits++
+	a.stats.Allocs += uint64(tx.allocs)
+	a.stats.Frees += uint64(tx.frees)
+	tx.closed = true
+	a.tx = nil
+}
+
+func mustWrite(a *Arena, off uint64, data []byte) {
+	if err := a.dev.WriteAt(data, int(off)); err != nil {
+		panic("pmobj: commit write: " + err.Error())
+	}
+}

@@ -1,0 +1,245 @@
+// Package rediskv implements a Redis-like persistent store — the analogue
+// of the paper's PM-optimized Redis (§VI-A2) — on the pmobj arena. It
+// supports the command subset the Twitter (Retwis) workload and the YCSB
+// driver need: strings, counters, lists and sets, each value stored
+// crash-atomically in a persistent hashmap.
+package rediskv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pmnet/internal/kv"
+	"pmnet/internal/pmobj"
+)
+
+// Value type tags (first byte of every stored value).
+const (
+	tString  byte = 'S'
+	tCounter byte = 'C'
+	tList    byte = 'L'
+	tSet     byte = 'Z'
+)
+
+// Errors.
+var (
+	ErrWrongType = errors.New("rediskv: operation against a key holding the wrong kind of value")
+)
+
+// Store is a Redis-like store. Each command is crash-atomic: it performs at
+// most one engine Put, which commits in a single pmobj transaction.
+type Store struct {
+	hm kv.Engine
+}
+
+// Open creates or reopens a store on the arena.
+func Open(a *pmobj.Arena) (*Store, error) {
+	hm, err := kv.OpenHashmap(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{hm: hm}, nil
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return s.hm.Len() }
+
+// strings -------------------------------------------------------------------
+
+// Set stores a string value.
+func (s *Store) Set(key, value []byte) error {
+	return s.hm.Put(key, append([]byte{tString}, value...))
+}
+
+// Get fetches a string value.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	raw, ok := s.hm.Get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	if raw[0] != tString {
+		return nil, false, typeErr(key, tString, raw[0])
+	}
+	return raw[1:], true, nil
+}
+
+// Del removes a key of any type.
+func (s *Store) Del(key []byte) (bool, error) { return s.hm.Delete(key) }
+
+// Exists reports whether key is present.
+func (s *Store) Exists(key []byte) bool {
+	_, ok := s.hm.Get(key)
+	return ok
+}
+
+// counters -------------------------------------------------------------------
+
+// Incr atomically increments a counter, creating it at 1.
+func (s *Store) Incr(key []byte) (int64, error) {
+	raw, ok := s.hm.Get(key)
+	var cur int64
+	if ok {
+		if raw[0] != tCounter {
+			return 0, typeErr(key, tCounter, raw[0])
+		}
+		cur = int64(binary.BigEndian.Uint64(raw[1:]))
+	}
+	cur++
+	buf := make([]byte, 9)
+	buf[0] = tCounter
+	binary.BigEndian.PutUint64(buf[1:], uint64(cur))
+	if err := s.hm.Put(key, buf); err != nil {
+		return 0, err
+	}
+	return cur, nil
+}
+
+// GetCounter reads a counter (0 when absent).
+func (s *Store) GetCounter(key []byte) (int64, error) {
+	raw, ok := s.hm.Get(key)
+	if !ok {
+		return 0, nil
+	}
+	if raw[0] != tCounter {
+		return 0, typeErr(key, tCounter, raw[0])
+	}
+	return int64(binary.BigEndian.Uint64(raw[1:])), nil
+}
+
+// lists ----------------------------------------------------------------------
+
+func decodeItems(raw []byte) [][]byte {
+	n, off := binary.Uvarint(raw)
+	items := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, m := binary.Uvarint(raw[off:])
+		off += m
+		items = append(items, raw[off:off+int(l)])
+		off += int(l)
+	}
+	return items
+}
+
+func encodeItems(tag byte, items [][]byte) []byte {
+	out := make([]byte, 1, 64)
+	out[0] = tag
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(items)))
+	out = append(out, tmp[:n]...)
+	for _, it := range items {
+		n = binary.PutUvarint(tmp[:], uint64(len(it)))
+		out = append(out, tmp[:n]...)
+		out = append(out, it...)
+	}
+	return out
+}
+
+func (s *Store) loadItems(key []byte, tag byte) ([][]byte, bool, error) {
+	raw, ok := s.hm.Get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	if raw[0] != tag {
+		return nil, false, typeErr(key, tag, raw[0])
+	}
+	return decodeItems(raw[1:]), true, nil
+}
+
+// LPush prepends value to the list at key, optionally trimming to maxLen
+// (0 = unbounded). Returns the new length.
+func (s *Store) LPush(key, value []byte, maxLen int) (int, error) {
+	items, _, err := s.loadItems(key, tList)
+	if err != nil {
+		return 0, err
+	}
+	items = append([][]byte{value}, items...)
+	if maxLen > 0 && len(items) > maxLen {
+		items = items[:maxLen]
+	}
+	if err := s.hm.Put(key, encodeItems(tList, items)); err != nil {
+		return 0, err
+	}
+	return len(items), nil
+}
+
+// LRange returns items [start, stop] (inclusive, like Redis; stop = -1
+// means "to the end").
+func (s *Store) LRange(key []byte, start, stop int) ([][]byte, error) {
+	items, ok, err := s.loadItems(key, tList)
+	if err != nil || !ok {
+		return nil, err
+	}
+	n := len(items)
+	if stop < 0 {
+		stop = n + stop
+	}
+	if start < 0 {
+		start = 0
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	if start > stop {
+		return nil, nil
+	}
+	out := make([][]byte, stop-start+1)
+	copy(out, items[start:stop+1])
+	return out, nil
+}
+
+// LLen returns the list length.
+func (s *Store) LLen(key []byte) (int, error) {
+	items, _, err := s.loadItems(key, tList)
+	return len(items), err
+}
+
+// sets -----------------------------------------------------------------------
+
+// SAdd inserts member into the set at key; reports whether it was new.
+func (s *Store) SAdd(key, member []byte) (bool, error) {
+	items, _, err := s.loadItems(key, tSet)
+	if err != nil {
+		return false, err
+	}
+	for _, it := range items {
+		if string(it) == string(member) {
+			return false, nil
+		}
+	}
+	items = append(items, member)
+	if err := s.hm.Put(key, encodeItems(tSet, items)); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// SIsMember reports set membership.
+func (s *Store) SIsMember(key, member []byte) (bool, error) {
+	items, _, err := s.loadItems(key, tSet)
+	if err != nil {
+		return false, err
+	}
+	for _, it := range items {
+		if string(it) == string(member) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// SCard returns the set cardinality.
+func (s *Store) SCard(key []byte) (int, error) {
+	items, _, err := s.loadItems(key, tSet)
+	return len(items), err
+}
+
+// SMembers returns every member.
+func (s *Store) SMembers(key []byte) ([][]byte, error) {
+	items, _, err := s.loadItems(key, tSet)
+	return items, err
+}
+
+func typeErr(key []byte, want, got byte) error {
+	return fmt.Errorf("%w: key %q holds %c, want %c", ErrWrongType, key, got, want)
+}

@@ -1,0 +1,528 @@
+// Package server implements the PMNet server-side software library
+// (Table I: PMNet_recv / PMNet_ack): per-session reorder buffers that
+// restore the client's original update order from SeqNums (Figure 7), gap
+// detection with Retrans requests, duplicate suppression with make-up
+// server-ACKs, and the post-failure recovery poll that replays PMNet's
+// logs (§IV-E).
+package server
+
+import (
+	"encoding/binary"
+
+	"pmnet/internal/netsim"
+	"pmnet/internal/pmem"
+	"pmnet/internal/protocol"
+	"pmnet/internal/sim"
+)
+
+// Handler executes application requests. It returns the response and the
+// CPU cost of processing, which the library charges to the host's worker
+// pool — that cost is the paper's "server processing time".
+type Handler interface {
+	Handle(req protocol.Request) (protocol.Response, sim.Time)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req protocol.Request) (protocol.Response, sim.Time)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(req protocol.Request) (protocol.Response, sim.Time) { return f(req) }
+
+// IdealHandler is the microbenchmark request handler of §VI-B1: it
+// acknowledges "upon reception of the request, without processing it".
+// Even so, the acknowledgement costs a user-space turnaround — socket
+// wakeup, dispatch, reply — which the paper's libVMA experiment (§VI-B7)
+// shows still dominates once the kernel stack is bypassed; ≈12 µs matches
+// the residual server-side cost its Figure 22 implies.
+type IdealHandler struct {
+	Cost sim.Time // 0 = 12 µs
+}
+
+// Handle implements Handler.
+func (h IdealHandler) Handle(req protocol.Request) (protocol.Response, sim.Time) {
+	cost := h.Cost
+	if cost == 0 {
+		cost = 12 * sim.Microsecond
+	}
+	return protocol.Response{Status: protocol.StatusOK}, cost
+}
+
+// Config parameterizes the server library.
+type Config struct {
+	// GapTimeout is how long a sequence gap may persist before the library
+	// requests retransmission (Figure 7b). 0 = 50 µs.
+	GapTimeout sim.Time
+	// RetransLimit bounds retransmission requests per missing sequence
+	// number; past it the gap is abandoned (nextSeq jumps over it) so a
+	// permanently lost update — e.g. its client died mid-stream — cannot
+	// wedge the session forever. 0 = 200.
+	RetransLimit int
+	// Devices lists the PMNet devices polled during recovery (deployment
+	// knowledge: the ToR switch / NIC chain in front of this server).
+	Devices []netsim.NodeID
+	// MetaPMBytes sizes the PM region holding per-session applied-sequence
+	// watermarks; 0 = 256 KiB (4 bytes × 64 Ki sessions).
+	MetaPMBytes int
+	// OnCrash/OnRestart let the application revert and recover its own
+	// persistent state in lockstep with the library (e.g. power-failing the
+	// KV engine's PM arena).
+	OnCrash   func()
+	OnRestart func()
+}
+
+// Stats counts server library activity.
+type Stats struct {
+	UpdatesApplied uint64
+	ReadsServed    uint64
+	Duplicates     uint64 // resent/replayed updates dropped via SeqNum
+	MakeupAcks     uint64 // server-ACKs for duplicates, to reclaim logs
+	RetransSent    uint64
+	GapsAbandoned  uint64 // permanently missing seqs skipped after RetransLimit
+	Buffered       uint64 // out-of-order fragments parked in the reorder buffer
+	Reordered      uint64 // fragments that arrived ahead of a gap and were later applied
+	Recoveries     uint64
+	Crashes        uint64
+}
+
+type query struct {
+	firstSeq uint32
+	lastSeq  uint32
+	req      protocol.Request
+	from     netsim.NodeID
+	srcPort  uint16
+	dstPort  uint16
+}
+
+type sessState struct {
+	client   netsim.NodeID
+	nextSeq  uint32
+	buffered map[uint32]*netsim.Packet
+	reasm    map[uint32]*protocol.Reassembler
+	queue    []query
+	busy     bool
+	gapArmed bool
+	retrans  map[uint32]int // retransmission attempts per missing seq
+}
+
+// Server is the PMNet server library bound to one host.
+type Server struct {
+	host    *netsim.Host
+	eng     *sim.Engine
+	cfg     Config
+	handler Handler
+	meta    *pmem.Device
+	sess    map[uint16]*sessState
+	stats   Stats
+	gen     uint64 // bumped on crash; stale CPU completions are dropped
+}
+
+// New binds a server library to host with the given handler.
+func New(host *netsim.Host, handler Handler, cfg Config) *Server {
+	if cfg.GapTimeout <= 0 {
+		cfg.GapTimeout = 50 * sim.Microsecond
+	}
+	if cfg.RetransLimit <= 0 {
+		cfg.RetransLimit = 200
+	}
+	if cfg.MetaPMBytes <= 0 {
+		cfg.MetaPMBytes = 4 * 65536
+	}
+	s := &Server{
+		host:    host,
+		eng:     host.Engine(),
+		cfg:     cfg,
+		handler: handler,
+		meta:    pmem.NewDevice(pmem.DefaultConfig(cfg.MetaPMBytes)),
+		sess:    make(map[uint16]*sessState),
+	}
+	host.OnReceive(s.onPacket)
+	return s
+}
+
+// Stats returns a copy of the counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Host exposes the underlying host.
+func (s *Server) Host() *netsim.Host { return s.host }
+
+// SetHandler replaces the request handler (used by harness reconfiguration).
+func (s *Server) SetHandler(h Handler) { s.handler = h }
+
+func (s *Server) session(id uint16) *sessState {
+	st, ok := s.sess[id]
+	if !ok {
+		st = &sessState{
+			nextSeq:  s.lastApplied(id) + 1,
+			buffered: make(map[uint32]*netsim.Packet),
+			reasm:    make(map[uint32]*protocol.Reassembler),
+			retrans:  make(map[uint32]int),
+		}
+		s.sess[id] = st
+	}
+	return st
+}
+
+// lastApplied reads the persistent applied-sequence watermark for a session.
+func (s *Server) lastApplied(id uint16) uint32 {
+	var b [4]byte
+	if err := s.meta.ReadAt(b[:], int(id)*4); err != nil {
+		panic("server: meta read: " + err.Error())
+	}
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// setLastApplied persists the watermark. The application's own state must be
+// durable before this is called; the pair gives standard redo semantics
+// (re-applying an update whose watermark write was lost is safe for the
+// idempotent KV operations PMNet targets).
+func (s *Server) setLastApplied(id uint16, seq uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], seq)
+	off := int(id) * 4
+	if err := s.meta.WriteAt(b[:], off); err != nil {
+		panic("server: meta write: " + err.Error())
+	}
+	if err := s.meta.Persist(off, 4); err != nil {
+		panic("server: meta persist: " + err.Error())
+	}
+}
+
+func (s *Server) reply(q query, hdr protocol.Header, payload []byte) {
+	s.host.Send(&netsim.Packet{
+		To:      q.from,
+		SrcPort: q.dstPort, // the PMNet port, so devices classify the reply
+		DstPort: q.srcPort,
+		PMNet:   true,
+		Msg:     protocol.Message{Hdr: hdr, Payload: payload},
+	})
+}
+
+func (s *Server) sendServerAck(sessID uint16, q query) {
+	for seq := q.firstSeq; seq <= q.lastSeq; seq++ {
+		hdr := protocol.Header{
+			Type:      protocol.TypeServerACK,
+			SessionID: sessID,
+			SeqNum:    seq,
+			FragIdx:   uint16(seq - q.firstSeq),
+			FragTotal: uint16(q.lastSeq - q.firstSeq + 1),
+		}
+		hdr.Seal()
+		s.reply(q, hdr, nil)
+	}
+}
+
+func (s *Server) onPacket(pkt *netsim.Packet) {
+	if !pkt.PMNet {
+		return
+	}
+	hdr := pkt.Msg.Hdr
+	switch hdr.Type {
+	case protocol.TypeUpdateReq:
+		s.onUpdate(pkt)
+	case protocol.TypeBypassReq:
+		s.onBypass(pkt)
+	}
+}
+
+// onBypass serves reads and synchronization requests immediately: they are
+// not part of the ordered update stream (see client.BypassSeqBit).
+func (s *Server) onBypass(pkt *netsim.Packet) {
+	hdr := pkt.Msg.Hdr
+	st := s.session(hdr.SessionID)
+	st.client = pkt.From
+	firstSeq := hdr.SeqNum - uint32(hdr.FragIdx)
+	r, ok := st.reasm[firstSeq]
+	if !ok {
+		r = protocol.NewReassembler(firstSeq, hdr.FragTotal)
+		st.reasm[firstSeq] = r
+	}
+	payload, err := r.Add(pkt.Msg)
+	if err != nil {
+		return // incomplete (or inconsistent duplicate)
+	}
+	delete(st.reasm, firstSeq)
+	req, derr := protocol.DecodeRequest(payload)
+	q := query{firstSeq: firstSeq, lastSeq: hdr.SeqNum - uint32(hdr.FragIdx) + uint32(hdr.FragTotal) - 1,
+		req: req, from: pkt.From, srcPort: pkt.SrcPort, dstPort: pkt.DstPort}
+	if derr != nil {
+		s.respondRead(hdr.SessionID, q, protocol.Response{Status: protocol.StatusError})
+		return
+	}
+	gen := s.gen
+	resp, cost := s.handler.Handle(req)
+	s.host.CPU().Submit(cost, func() {
+		if gen != s.gen {
+			return
+		}
+		s.stats.ReadsServed++
+		s.respondRead(hdr.SessionID, q, resp)
+	})
+}
+
+func (s *Server) respondRead(sessID uint16, q query, resp protocol.Response) {
+	hdr := protocol.Header{
+		Type:      protocol.TypeReadResp,
+		SessionID: sessID,
+		SeqNum:    q.firstSeq,
+		FragTotal: 1,
+	}
+	hdr.Seal()
+	s.reply(q, hdr, resp.Encode())
+}
+
+// onUpdate runs the ordered path: dedupe, reorder, reassemble, then execute
+// in client order.
+func (s *Server) onUpdate(pkt *netsim.Packet) {
+	hdr := pkt.Msg.Hdr
+	st := s.session(hdr.SessionID)
+	st.client = pkt.From
+	seq := hdr.SeqNum
+	switch {
+	case seq < st.nextSeq:
+		s.stats.Duplicates++
+		// A make-up server-ACK reclaims the PMNet log entry (§IV-E1), so it
+		// may ONLY be sent once the request is durably applied (covered by
+		// the persistent watermark). nextSeq is volatile — it advances when
+		// a packet is *received* in order, before the handler has run — and
+		// a crash can roll it back; acking on nextSeq alone would destroy
+		// the only persistent copy of a queued-but-unapplied update.
+		if seq <= s.lastApplied(hdr.SessionID) {
+			s.stats.MakeupAcks++
+			ack := protocol.Header{
+				Type:      protocol.TypeServerACK,
+				SessionID: hdr.SessionID,
+				SeqNum:    seq,
+				FragIdx:   hdr.FragIdx,
+				FragTotal: hdr.FragTotal,
+			}
+			ack.Seal()
+			s.reply(query{from: pkt.From, srcPort: pkt.SrcPort, dstPort: pkt.DstPort}, ack, nil)
+		}
+		// Otherwise the duplicate is of an in-flight (queued) query; the
+		// genuine server-ACK follows its application.
+	case seq == st.nextSeq:
+		delete(st.retrans, seq)
+		st.nextSeq++
+		s.applyInOrder(hdr.SessionID, st, pkt)
+		// Drain any buffered successors.
+		for {
+			next, ok := st.buffered[st.nextSeq]
+			if !ok {
+				break
+			}
+			delete(st.buffered, st.nextSeq)
+			delete(st.retrans, st.nextSeq)
+			st.nextSeq++
+			s.stats.Reordered++
+			s.applyInOrder(hdr.SessionID, st, next)
+		}
+	default: // seq > st.nextSeq: a gap
+		if _, dup := st.buffered[seq]; dup {
+			s.stats.Duplicates++
+			return
+		}
+		st.buffered[seq] = pkt
+		s.stats.Buffered++
+		s.armGapCheck(hdr.SessionID, st)
+	}
+}
+
+// armGapCheck schedules a retransmission request if the gap persists
+// (Figure 7b).
+func (s *Server) armGapCheck(sessID uint16, st *sessState) {
+	if st.gapArmed {
+		return
+	}
+	st.gapArmed = true
+	gen := s.gen
+	s.eng.After(s.cfg.GapTimeout, func() {
+		if gen != s.gen {
+			return
+		}
+		st.gapArmed = false
+		if len(st.buffered) == 0 {
+			return
+		}
+		// Request every missing seq between nextSeq and the highest
+		// buffered packet. A seq that stays missing past RetransLimit
+		// attempts is abandoned: its sender is gone for good (the update
+		// was never acknowledged, so no guarantee attaches) and stalling
+		// the session forever would wedge every later update.
+		var maxSeq uint32
+		for q := range st.buffered {
+			if q > maxSeq {
+				maxSeq = q
+			}
+		}
+		for seq := st.nextSeq; seq < maxSeq; seq++ {
+			if _, have := st.buffered[seq]; have {
+				continue
+			}
+			st.retrans[seq]++
+			if st.retrans[seq] > s.cfg.RetransLimit {
+				continue // abandoned below once it is the head of line
+			}
+			s.stats.RetransSent++
+			// Fragment geometry of the missing packet is unknown in
+			// general; assume single-fragment (the common case). PMNet
+			// serves the Retrans when the hash matches; otherwise the
+			// client's bySeq lookup resends the right fragment.
+			rh := protocol.Header{
+				Type:      protocol.TypeRetrans,
+				SessionID: sessID,
+				SeqNum:    seq,
+				FragTotal: 1,
+			}
+			rh.Seal()
+			s.host.Send(&netsim.Packet{
+				To:      st.client,
+				SrcPort: protocol.PortMin,
+				DstPort: 40000 + sessID,
+				PMNet:   true,
+				Msg:     protocol.Message{Hdr: rh},
+			})
+		}
+		// Abandon a head-of-line gap that exhausted its retransmissions.
+		for {
+			if _, have := st.buffered[st.nextSeq]; have {
+				break
+			}
+			if st.nextSeq >= maxSeq || st.retrans[st.nextSeq] <= s.cfg.RetransLimit {
+				break
+			}
+			delete(st.retrans, st.nextSeq)
+			st.nextSeq++
+			s.stats.GapsAbandoned++
+		}
+		// Drain anything the jump unblocked.
+		for {
+			next, ok := st.buffered[st.nextSeq]
+			if !ok {
+				break
+			}
+			delete(st.buffered, st.nextSeq)
+			delete(st.retrans, st.nextSeq)
+			st.nextSeq++
+			s.stats.Reordered++
+			s.applyInOrder(sessID, st, next)
+		}
+		s.armGapCheck(sessID, st)
+	})
+}
+
+// applyInOrder feeds one in-order fragment to reassembly and enqueues the
+// completed query for serial per-session execution.
+func (s *Server) applyInOrder(sessID uint16, st *sessState, pkt *netsim.Packet) {
+	hdr := pkt.Msg.Hdr
+	firstSeq := hdr.SeqNum - uint32(hdr.FragIdx)
+	r, ok := st.reasm[firstSeq]
+	if !ok {
+		r = protocol.NewReassembler(firstSeq, hdr.FragTotal)
+		st.reasm[firstSeq] = r
+	}
+	payload, err := r.Add(pkt.Msg)
+	if err != nil {
+		return // more fragments to come
+	}
+	delete(st.reasm, firstSeq)
+	req, derr := protocol.DecodeRequest(payload)
+	if derr != nil {
+		return // corrupt query: ignore; client will time out and resend
+	}
+	st.queue = append(st.queue, query{
+		firstSeq: firstSeq,
+		lastSeq:  firstSeq + uint32(hdr.FragTotal) - 1,
+		req:      req,
+		from:     pkt.From,
+		srcPort:  pkt.SrcPort,
+		dstPort:  pkt.DstPort,
+	})
+	s.runNext(sessID, st)
+}
+
+// runNext executes queued queries one at a time per session, preserving the
+// client's order even across the multi-worker CPU.
+func (s *Server) runNext(sessID uint16, st *sessState) {
+	if st.busy || len(st.queue) == 0 {
+		return
+	}
+	st.busy = true
+	q := st.queue[0]
+	st.queue = st.queue[1:]
+	gen := s.gen
+	resp, cost := s.handler.Handle(q.req)
+	_ = resp // updates acknowledge with server-ACKs, not a response payload
+	s.host.CPU().Submit(cost, func() {
+		if gen != s.gen {
+			return
+		}
+		// The handler's state mutations are durable (engines persist before
+		// returning); now persist the watermark and acknowledge.
+		s.setLastApplied(sessID, q.lastSeq)
+		s.stats.UpdatesApplied++
+		s.sendServerAck(sessID, q)
+		st.busy = false
+		s.runNext(sessID, st)
+	})
+}
+
+// DebugSessions reports, per session, the next expected sequence number and
+// the sequence numbers parked in the reorder buffer — for tests and
+// diagnostics.
+func (s *Server) DebugSessions() map[uint16]struct {
+	NextSeq  uint32
+	Buffered []uint32
+} {
+	out := make(map[uint16]struct {
+		NextSeq  uint32
+		Buffered []uint32
+	})
+	for id, st := range s.sess {
+		var buf []uint32
+		for seq := range st.buffered {
+			buf = append(buf, seq)
+		}
+		out[id] = struct {
+			NextSeq  uint32
+			Buffered []uint32
+		}{st.nextSeq, buf}
+	}
+	return out
+}
+
+// Crash power-fails the server: the host drops traffic, volatile library
+// state (reorder buffers, queues) is lost, unpersisted metadata reverts, and
+// the application's OnCrash hook fires (to power-fail its own PM).
+func (s *Server) Crash() {
+	s.stats.Crashes++
+	s.gen++
+	s.host.Fail()
+	s.meta.PowerFail()
+	s.sess = make(map[uint16]*sessState)
+	if s.cfg.OnCrash != nil {
+		s.cfg.OnCrash()
+	}
+}
+
+// Recover restarts the host, reloads the persistent watermarks, runs the
+// application's OnRestart hook, and polls every configured PMNet device for
+// logged requests (§IV-E1). Replayed and client-resent packets then flow
+// through the normal ordered path.
+func (s *Server) Recover() {
+	s.stats.Recoveries++
+	s.host.Restart()
+	if s.cfg.OnRestart != nil {
+		s.cfg.OnRestart()
+	}
+	for _, dev := range s.cfg.Devices {
+		hdr := protocol.Header{Type: protocol.TypeRecoverReq, FragTotal: 1}
+		hdr.Seal()
+		s.host.Send(&netsim.Packet{
+			To:      dev,
+			SrcPort: protocol.PortMin,
+			DstPort: protocol.PortMin,
+			PMNet:   true,
+			Msg:     protocol.Message{Hdr: hdr},
+		})
+	}
+}

@@ -1,0 +1,184 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All PMNet experiments run on a virtual clock: events are scheduled at
+// absolute virtual times (nanosecond resolution) and executed in time order.
+// Nothing in the engine sleeps or reads the wall clock, so experiments are
+// bit-reproducible given a seed and immune to host scheduling or GC jitter —
+// the property that makes a faithful data-plane reproduction possible in Go.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, mirroring time package conventions but on the virtual
+// clock. A sim.Time difference is a duration in nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a virtual-time difference to a time.Duration for display.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Micros returns the time expressed in (possibly fractional) microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return t.Duration().String() }
+
+// Event is a scheduled callback. Events with equal times run in the order
+// they were scheduled (FIFO tie-break via sequence numbers) so the engine is
+// fully deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 once popped or cancelled
+	dead bool
+}
+
+// Cancel prevents a pending event from running. Cancelling an event that has
+// already fired is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Cancelled reports whether the event was cancelled before running.
+func (e *Event) Cancelled() bool { return e != nil && e.dead }
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending event queue.
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	ran     uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun returns the number of events executed so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a model bug, not a recoverable condition.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now. Negative delays are
+// clamped to zero (run "immediately", after currently-queued same-time work).
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(Time(math.MaxInt64))
+}
+
+// RunUntil executes events with time ≤ deadline. The clock is left at the
+// time of the last executed event (or at deadline if it advanced past all
+// events but the queue still has later entries).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > deadline {
+			if e.now < deadline {
+				e.now = deadline
+			}
+			return
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		e.ran++
+		next.fn()
+	}
+	if !e.stopped && e.now < deadline && deadline < Time(math.MaxInt64) {
+		e.now = deadline
+	}
+}
+
+// Step executes exactly one pending (non-cancelled) event and reports whether
+// one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		e.ran++
+		next.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,316 @@
+// Package stats provides the measurement plumbing for the evaluation
+// harness: a log-bucketed latency histogram (HdrHistogram-style) with
+// percentile and CDF extraction, and throughput accounting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pmnet/internal/sim"
+)
+
+// Histogram records durations in logarithmic buckets: 64 major buckets (one
+// per power of two) with 32 minor linear sub-buckets each, giving ≤ ~3%
+// relative error across the full range — plenty for tail-latency reporting.
+type Histogram struct {
+	counts [64 * 32]uint64
+	total  uint64
+	sum    float64
+	min    sim.Time
+	max    sim.Time
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+func bucketIndex(v sim.Time) int {
+	if v < 0 {
+		v = 0
+	}
+	major := 0
+	if v > 0 {
+		major = 63 - leadingZeros(uint64(v))
+	}
+	if major >= 64 {
+		major = 63
+	}
+	var minor int
+	if major >= 5 {
+		minor = int((uint64(v) >> (uint(major) - 5)) & 31)
+	} else {
+		minor = int(uint64(v) & 31)
+	}
+	return major*32 + minor
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// bucketMid returns a representative value for a bucket.
+func bucketMid(idx int) sim.Time {
+	major := idx / 32
+	minor := idx % 32
+	if major < 5 {
+		return sim.Time(minor)
+	}
+	base := uint64(1) << uint(major)
+	step := base / 32
+	return sim.Time(base + uint64(minor)*step + step/2)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v sim.Time) {
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / float64(h.total))
+}
+
+// Min and Max return sample extremes.
+func (h *Histogram) Min() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Percentile returns the p-th percentile (0 < p ≤ 100).
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 100 {
+		return h.max
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			// Clamp the bucket representative to the observed range so
+			// percentiles never stray outside [min, max].
+			v := bucketMid(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one point of the cumulative distribution.
+type CDFPoint struct {
+	Latency  sim.Time
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution at every non-empty bucket.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, CDFPoint{Latency: bucketMid(i), Fraction: float64(cum) / float64(h.total)})
+	}
+	return out
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean(), h.Percentile(50), h.Percentile(99), h.max)
+}
+
+// Run aggregates one experiment run: latency distribution plus throughput.
+type Run struct {
+	Hist     *Histogram
+	Start    sim.Time
+	End      sim.Time
+	Requests uint64
+}
+
+// NewRun returns an empty aggregate starting at start.
+func NewRun(start sim.Time) *Run {
+	return &Run{Hist: NewHistogram(), Start: start}
+}
+
+// Record adds a completed request.
+func (r *Run) Record(lat sim.Time, now sim.Time) {
+	r.Hist.Record(lat)
+	r.Requests++
+	if now > r.End {
+		r.End = now
+	}
+}
+
+// Throughput returns requests per second of virtual time.
+func (r *Run) Throughput() float64 {
+	dur := r.End - r.Start
+	if dur <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / (float64(dur) / 1e9)
+}
+
+// Table is a rendered experiment result: the rows the paper's figures plot.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b []byte
+	b = append(b, t.Title...)
+	b = append(b, '\n')
+	line := func(cells []string) {
+		for i, cell := range cells {
+			b = append(b, fmt.Sprintf("%-*s", widths[i]+2, cell)...)
+		}
+		b = append(b, '\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = dashes(widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return string(b)
+}
+
+func dashes(n int) string {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = '-'
+	}
+	return string(d)
+}
+
+// Sorted returns a sorted copy of xs (helper for exact small-sample stats in
+// tests and calibration).
+func Sorted(xs []sim.Time) []sim.Time {
+	out := append([]sim.Time(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes only where needed), one
+// header row then data rows.
+func (t *Table) CSV() string {
+	var b []byte
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			if needsQuoting(c) {
+				b = append(b, '"')
+				for _, ch := range []byte(c) {
+					if ch == '"' {
+						b = append(b, '"', '"')
+					} else {
+						b = append(b, ch)
+					}
+				}
+				b = append(b, '"')
+			} else {
+				b = append(b, c...)
+			}
+		}
+		b = append(b, '\n')
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return string(b)
+}
+
+func needsQuoting(s string) bool {
+	for _, ch := range s {
+		if ch == ',' || ch == '"' || ch == '\n' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pmnet/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Time(i) * sim.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 49*sim.Microsecond || mean > 52*sim.Microsecond {
+		t.Fatalf("mean %v, want ≈50.5µs", mean)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 45*sim.Microsecond || p50 > 56*sim.Microsecond {
+		t.Fatalf("p50 %v", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 95*sim.Microsecond || p99 > 105*sim.Microsecond {
+		t.Fatalf("p99 %v", p99)
+	}
+	if h.Min() != 1*sim.Microsecond || h.Max() != 100*sim.Microsecond {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	v := sim.Time(123456789)
+	h.Record(v)
+	got := h.Percentile(50)
+	err := math.Abs(float64(got-v)) / float64(v)
+	if err > 0.04 {
+		t.Fatalf("relative error %.3f for %v→%v", err, v, got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Min() != 0 || h.CDF() != nil {
+		t.Fatal("empty histogram must return zeros")
+	}
+}
+
+func TestHistogramZeroAndSmall(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0)
+	h.Record(1)
+	h.Record(31)
+	if h.Count() != 3 {
+		t.Fatal("small values lost")
+	}
+	if h.Percentile(1) > 31 {
+		t.Fatalf("p1 = %v", h.Percentile(1))
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	h := NewHistogram()
+	r := sim.NewRand(3)
+	for i := 0; i < 10000; i++ {
+		h.Record(sim.Time(r.Exp(50000)))
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Fraction < cdf[i-1].Fraction || cdf[i].Latency < cdf[i-1].Latency {
+			t.Fatal("CDF not monotonic")
+		}
+	}
+	last := cdf[len(cdf)-1]
+	if math.Abs(last.Fraction-1.0) > 1e-9 {
+		t.Fatalf("CDF does not reach 1: %v", last.Fraction)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(10 * sim.Microsecond)
+	b.Record(20 * sim.Microsecond)
+	b.Record(30 * sim.Microsecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Min() != 10*sim.Microsecond || a.Max() != 30*sim.Microsecond {
+		t.Fatal("merged extremes wrong")
+	}
+}
+
+func TestRunThroughput(t *testing.T) {
+	r := NewRun(0)
+	for i := 1; i <= 1000; i++ {
+		r.Record(10*sim.Microsecond, sim.Time(i)*10*sim.Microsecond)
+	}
+	// 1000 requests over 10 ms = 100k req/s.
+	tp := r.Throughput()
+	if tp < 99e3 || tp > 101e3 {
+		t.Fatalf("throughput %.0f", tp)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := Table{Title: "Fig X", Columns: []string{"design", "latency"}}
+	tbl.AddRow("baseline", "60µs")
+	tbl.AddRow("pmnet", "21µs")
+	out := tbl.Format()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "baseline") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max bucket
+// representations.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Record(sim.Time(v))
+		}
+		prev := sim.Time(-1)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the histogram's relative error stays within the bucket design
+// bound (~1/32 + rounding) for values ≥ 32.
+func TestQuickRelativeError(t *testing.T) {
+	f := func(v uint32) bool {
+		if v < 32 {
+			return true
+		}
+		h := NewHistogram()
+		h.Record(sim.Time(v))
+		got := h.Percentile(100)
+		relErr := math.Abs(float64(got)-float64(v)) / float64(v)
+		return relErr <= 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("plain", `with "quotes", and comma`)
+	got := tbl.CSV()
+	want := "a,b\nplain,\"with \"\"quotes\"\", and comma\"\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+
+	"pmnet/internal/protocol"
+	"pmnet/internal/sim"
+)
+
+// TwitterConfig parameterizes the Retwis-style Twitter workload (§VI-A2,
+// Figure 4). Clients post tweets, follow users, and read timelines; there
+// is no cross-client ordering (each client allocates IDs via independent
+// INCR calls), which is exactly the lock-free structure the paper exploits.
+type TwitterConfig struct {
+	Users       int     // user population
+	UpdateRatio float64 // fraction of *actions* that mutate (post/follow)
+	PostLen     int     // tweet payload size (default 100)
+	TimelineLen int     // LRANGE window on reads (default 10)
+}
+
+// Twitter generates Redis-command requests (encoded as OpTxn) implementing
+// the retwis operations. Multi-request actions are emitted step by step so
+// the closed-loop driver preserves the synchronous model.
+type Twitter struct {
+	cfg    TwitterConfig
+	rand   *sim.Rand
+	me     int // this client's user id
+	queue  []Op
+	post   []byte
+	posted uint64
+}
+
+// NewTwitter builds a generator for one client instance.
+func NewTwitter(rand *sim.Rand, clientID int, cfg TwitterConfig) *Twitter {
+	if cfg.Users <= 0 {
+		cfg.Users = 1000
+	}
+	if cfg.PostLen <= 0 {
+		cfg.PostLen = 100
+	}
+	if cfg.TimelineLen <= 0 {
+		cfg.TimelineLen = 10
+	}
+	if cfg.UpdateRatio == 0 {
+		cfg.UpdateRatio = 0.5 // retwis default mix: half posts/follows
+	}
+	t := &Twitter{cfg: cfg, rand: rand, me: clientID % cfg.Users, post: make([]byte, cfg.PostLen)}
+	for i := range t.post {
+		t.post[i] = byte('t')
+	}
+	return t
+}
+
+// Redis commands ride in OpTxn requests: Args[0] = command name, then the
+// command arguments. The server-side RedisHandler interprets them.
+func redisCmd(update bool, cmd string, args ...[]byte) Op {
+	return Op{Req: protocol.TxnReq([]byte(cmd), args...), Update: update}
+}
+
+func userKey(prefix string, uid int) []byte {
+	return []byte(fmt.Sprintf("%s:%d", prefix, uid))
+}
+
+// Next implements Generator.
+func (t *Twitter) Next() Op {
+	if len(t.queue) > 0 {
+		op := t.queue[0]
+		t.queue = t.queue[1:]
+		return op
+	}
+	if t.rand.Float64() < t.cfg.UpdateRatio {
+		if t.rand.Float64() < 0.7 {
+			t.enqueuePost()
+		} else {
+			t.enqueueFollow()
+		}
+	} else {
+		t.enqueueTimelineRead()
+	}
+	return t.Next()
+}
+
+// enqueuePost emits the retwis "post" action: allocate a post id (getUID in
+// Figure 4 — no cross-client ordering), store the tweet, push it onto the
+// poster's timeline and the global timeline.
+func (t *Twitter) enqueuePost() {
+	t.posted++
+	pid := fmt.Sprintf("c%d-%d", t.me, t.posted) // client-local id, like getUID
+	t.queue = append(t.queue,
+		redisCmd(true, "INCR", []byte("next_post_id")),
+		redisCmd(true, "SET", []byte("post:"+pid), t.post),
+		redisCmd(true, "LPUSH", userKey("timeline", t.me), []byte(pid)),
+		redisCmd(true, "LPUSH", []byte("timeline:global"), []byte(pid)),
+	)
+}
+
+// enqueueFollow emits the "follow" action: two set insertions.
+func (t *Twitter) enqueueFollow() {
+	other := t.rand.Intn(t.cfg.Users)
+	t.queue = append(t.queue,
+		redisCmd(true, "SADD", userKey("followers", other), []byte(fmt.Sprintf("%d", t.me))),
+		redisCmd(true, "SADD", userKey("following", t.me), []byte(fmt.Sprintf("%d", other))),
+	)
+}
+
+// enqueueTimelineRead emits the "home timeline" action: fetch the post list
+// then two posts.
+func (t *Twitter) enqueueTimelineRead() {
+	who := t.rand.Intn(t.cfg.Users)
+	t.queue = append(t.queue,
+		redisCmd(false, "LRANGE", userKey("timeline", who),
+			[]byte("0"), []byte(fmt.Sprintf("%d", t.cfg.TimelineLen-1))),
+		redisCmd(false, "GET", []byte(fmt.Sprintf("post:c%d-1", who))),
+		redisCmd(false, "GET", []byte("post:latest")),
+	)
+}

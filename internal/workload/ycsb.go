@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"pmnet/internal/protocol"
+	"pmnet/internal/sim"
+)
+
+// YCSBConfig parameterizes the YCSB-like driver (§VI-A2: "We use a
+// YCSB-like client to generate and send read/update requests").
+type YCSBConfig struct {
+	Keys        int     // keyspace size
+	UpdateRatio float64 // fraction of requests that are updates (Fig. 19 sweeps this)
+	ValueSize   int     // payload bytes (default 100, §VI-A2)
+	Zipfian     bool    // zipfian key popularity (vs uniform)
+	Theta       float64 // zipf exponent (default 0.99)
+	ScanRatio   float64 // fraction of non-update requests that are range scans (YCSB-E)
+	ScanLen     int     // pairs per scan (default 10)
+}
+
+// YCSB generates GET/PUT requests over a keyspace.
+type YCSB struct {
+	cfg   YCSBConfig
+	rand  *sim.Rand
+	zipf  *sim.Zipf
+	value []byte
+	seq   uint64
+}
+
+// NewYCSB builds a generator with its own RNG stream.
+func NewYCSB(rand *sim.Rand, cfg YCSBConfig) *YCSB {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 10000
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 100
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	y := &YCSB{cfg: cfg, rand: rand, value: make([]byte, cfg.ValueSize)}
+	for i := range y.value {
+		y.value[i] = byte('a' + i%26)
+	}
+	if cfg.Zipfian {
+		y.zipf = sim.NewZipf(rand.Fork(), cfg.Keys, cfg.Theta)
+	}
+	return y
+}
+
+// Key returns the i-th key in the keyspace (for prefill).
+func YCSBKey(i int) []byte { return []byte(fmt.Sprintf("user%08d", i)) }
+
+func (y *YCSB) nextKey() []byte {
+	var i int
+	if y.zipf != nil {
+		i = y.zipf.Next()
+	} else {
+		i = y.rand.Intn(y.cfg.Keys)
+	}
+	return YCSBKey(i)
+}
+
+// Next implements Generator.
+func (y *YCSB) Next() Op {
+	y.seq++
+	key := y.nextKey()
+	if y.rand.Float64() < y.cfg.UpdateRatio {
+		return Op{Req: protocol.PutReq(key, y.value), Update: true}
+	}
+	if y.cfg.ScanRatio > 0 && y.rand.Float64() < y.cfg.ScanRatio {
+		scanLen := y.cfg.ScanLen
+		if scanLen <= 0 {
+			scanLen = 10
+		}
+		return Op{Req: protocol.ScanReq(key, scanLen)}
+	}
+	return Op{Req: protocol.GetReq(key)}
+}

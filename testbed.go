@@ -1,0 +1,275 @@
+package pmnet
+
+import (
+	"fmt"
+
+	"pmnet/internal/client"
+	"pmnet/internal/dataplane"
+	"pmnet/internal/netsim"
+	"pmnet/internal/server"
+	"pmnet/internal/sim"
+)
+
+// Config describes a simulated testbed. The zero value is completed with
+// paper-calibrated defaults by NewTestbed.
+type Config struct {
+	Design  Design
+	Clients int // client machines (each runs one session); default 1
+	Seed    uint64
+
+	// Servers builds a rack with this many servers behind the same PMNet
+	// device chain (a ToR serves the whole rack); sessions are assigned
+	// round-robin. Default 1. Every server runs its own copy of Handler via
+	// HandlerFactory when set; with a plain Handler all servers share it.
+	Servers int
+	// HandlerFactory builds one handler per server (overrides Handler when
+	// set); required when Servers > 1 and the handler holds state.
+	HandlerFactory func(i int) Handler
+
+	// Replication chains this many PMNet devices in series between the
+	// clients and the server (§IV-C). 0 or 1 = a single device. Ignored for
+	// ClientServer.
+	Replication int
+
+	// CacheEntries enables the in-network read cache on the device closest
+	// to the server (§IV-D) when positive.
+	CacheEntries int
+
+	// Stacks selects kernel or bypass (libVMA-style) host stacks.
+	Stacks StackKind
+
+	// ServerWorkers is the server's CPU worker count; default 16 (the
+	// paper's server has 20 cores).
+	ServerWorkers int
+
+	// Handler is the server request handler; default IdealHandler{}.
+	Handler Handler
+
+	// Link overrides the 10 GbE link model when non-zero.
+	Link netsim.LinkConfig
+
+	// Device overrides the PMNet device configuration (cache entries are
+	// still governed by CacheEntries).
+	Device dataplane.Config
+
+	// Timeout is the client retransmission timeout; default 1 ms.
+	Timeout Time
+
+	// LossRate injects random packet loss on every link (for protocol
+	// robustness experiments).
+	LossRate float64
+
+	// CrossTrafficGbps injects Poisson background traffic from a noise host
+	// toward the server at this rate, contending for the server-side links
+	// and switch queues — the shared-network tail-latency source of §I.
+	// Stop it with StopBackground once the workload completes (otherwise
+	// the event queue never drains).
+	CrossTrafficGbps float64
+}
+
+// Testbed is a built cluster ready to run on its virtual clock.
+type Testbed struct {
+	Engine   *sim.Engine
+	Network  *netsim.Network
+	Sessions []*client.Session
+	Clients  []*netsim.Host
+	Server   *server.Server      // the first (or only) server
+	Servers  []*server.Server    // every server in the rack
+	Devices  []*dataplane.Device // empty for ClientServer
+	ToR      *netsim.Switch      // the plain switch merging client traffic
+
+	cross *netsim.CrossTraffic
+	cfg   Config
+}
+
+// Node IDs used by the builder: clients at 1..N, plain switch at 1000,
+// PMNet devices at 2000+i, servers at 3000+i, noise host at 4000.
+const (
+	torID    netsim.NodeID = 1000
+	devBase  netsim.NodeID = 2000
+	serverID netsim.NodeID = 3000
+	noiseID  netsim.NodeID = 4000
+)
+
+// NewTestbed builds the cluster described by cfg.
+func NewTestbed(cfg Config) *Testbed {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.ServerWorkers <= 0 {
+		cfg.ServerWorkers = 16
+	}
+	if cfg.Handler == nil {
+		cfg.Handler = IdealHandler{}
+	}
+	if cfg.HandlerFactory == nil {
+		h := cfg.Handler
+		cfg.HandlerFactory = func(int) Handler { return h }
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = sim.Millisecond
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	link := cfg.Link
+	if link == (netsim.LinkConfig{}) {
+		link = netsim.DefaultLink()
+	}
+	if cfg.LossRate > 0 {
+		link.LossRate = cfg.LossRate
+	}
+
+	eng := sim.NewEngine()
+	root := sim.NewRand(cfg.Seed + 1)
+	net := netsim.New(eng, root.Fork())
+
+	clientStack := netsim.ClientKernelStack
+	serverStack := netsim.ServerKernelStack
+	if cfg.Stacks == BypassStack {
+		clientStack = netsim.BypassStack
+		serverStack = netsim.BypassStack
+	}
+
+	tb := &Testbed{Engine: eng, Network: net, cfg: cfg}
+
+	// Server hosts (a rack behind the same ToR / device chain).
+	serverHosts := make([]*netsim.Host, cfg.Servers)
+	for i := range serverHosts {
+		serverHosts[i] = netsim.NewHost(net, serverID+netsim.NodeID(i),
+			fmt.Sprintf("server-%d", i), serverStack, cfg.ServerWorkers, root.Fork())
+	}
+
+	// Plain ToR switch merging client traffic (§VI-A1).
+	tb.ToR = netsim.NewSwitch(net, torID, "tor", netsim.DefaultSwitchLatency)
+
+	// Client hosts behind the ToR.
+	for i := 0; i < cfg.Clients; i++ {
+		h := netsim.NewHost(net, netsim.NodeID(i+1), fmt.Sprintf("client-%d", i),
+			clientStack, 1, root.Fork())
+		tb.Clients = append(tb.Clients, h)
+		net.Connect(h.ID(), torID, link)
+	}
+
+	// PMNet devices between ToR and server (switch chain) or at the server
+	// (NIC). The chain implements §IV-C replication.
+	var devIDs []netsim.NodeID
+	if cfg.Design != ClientServer {
+		devCfg := cfg.Device
+		n := cfg.Replication
+		for i := 0; i < n; i++ {
+			dc := devCfg
+			if cfg.CacheEntries > 0 && i == n-1 {
+				// Cache on the device adjacent to the server (its ToR in the
+				// paper's caching deployment).
+				dc.CacheEntries = cfg.CacheEntries
+			}
+			id := devBase + netsim.NodeID(i)
+			d := dataplane.New(net, id, fmt.Sprintf("pmnet-%d", i), dc)
+			tb.Devices = append(tb.Devices, d)
+			devIDs = append(devIDs, id)
+		}
+		// Wire: tor — dev0 — dev1 — ... — server. Chained PMNet devices sit
+		// adjacent in the rack (§IV-C places the switches in series), so the
+		// inter-device patch links are much shorter than the client links —
+		// this is what keeps the paper's replication overhead at ~16%.
+		prev := torID
+		for i, id := range devIDs {
+			l := link
+			if i > 0 {
+				l.PropDelay = 200 * sim.Nanosecond
+			}
+			net.Connect(prev, id, l)
+			prev = id
+		}
+		last := link
+		if cfg.Design == PMNetNIC {
+			// Bump-in-the-wire at the server: negligible wire length.
+			last.PropDelay = 100 * sim.Nanosecond
+		}
+		for i := range serverHosts {
+			net.Connect(prev, serverID+netsim.NodeID(i), last)
+		}
+	} else {
+		for i := range serverHosts {
+			net.Connect(torID, serverID+netsim.NodeID(i), link)
+		}
+	}
+
+	// Server libraries. Handlers that own persistent state (the KV and
+	// Redis handlers) implement crash/restart hooks so their PM power-fails
+	// in lockstep with their server.
+	for i, host := range serverHosts {
+		h := cfg.HandlerFactory(i)
+		srvCfg := server.Config{Devices: devIDs}
+		if ch, ok := h.(CrashFaultHandler); ok {
+			srvCfg.OnCrash = ch.Crash
+			srvCfg.OnRestart = ch.Restart
+		}
+		tb.Servers = append(tb.Servers, server.New(host, h, srvCfg))
+	}
+	tb.Server = tb.Servers[0]
+
+	// Background cross-traffic: a noise host on the ToR blasting toward the
+	// server, sharing the server-side bottleneck with the workload.
+	if cfg.CrossTrafficGbps > 0 {
+		noise := netsim.NewHost(net, noiseID, "noise", clientStack, 1, root.Fork())
+		net.Connect(noise.ID(), torID, link)
+		tb.cross = netsim.NewCrossTraffic(net, root.Fork(), noise.ID(), serverID,
+			1400, cfg.CrossTrafficGbps*1e9, 1)
+		tb.cross.Start()
+	}
+
+	// Client sessions.
+	mode := client.ModeBaseline
+	required := 0
+	if cfg.Design != ClientServer {
+		mode = client.ModePMNet
+		required = cfg.Replication
+	}
+	for i, h := range tb.Clients {
+		sess := client.New(h, client.Config{
+			Session:      uint16(i + 1),
+			Server:       serverID + netsim.NodeID(i%cfg.Servers),
+			Mode:         mode,
+			RequiredAcks: required,
+			Timeout:      cfg.Timeout,
+		})
+		tb.Sessions = append(tb.Sessions, sess)
+	}
+	return tb
+}
+
+// Session returns the i-th client session (Table I: PMNet_start_session is
+// performed by NewTestbed; this accessor hands the session to the
+// application).
+func (tb *Testbed) Session(i int) *client.Session { return tb.Sessions[i] }
+
+// Run drives the virtual clock until no events remain.
+func (tb *Testbed) Run() { tb.Engine.Run() }
+
+// RunFor advances the virtual clock by d.
+func (tb *Testbed) RunFor(d Time) { tb.Engine.RunUntil(tb.Engine.Now() + d) }
+
+// Now returns the current virtual time.
+func (tb *Testbed) Now() Time { return tb.Engine.Now() }
+
+// CrashServer power-fails the server (§VI-B6's pulled power cord).
+func (tb *Testbed) CrashServer() { tb.Server.Crash() }
+
+// RecoverServer restarts the server and triggers the PMNet recovery poll.
+func (tb *Testbed) RecoverServer() { tb.Server.Recover() }
+
+// Config returns the testbed configuration (with defaults applied).
+func (tb *Testbed) Config() Config { return tb.cfg }
+
+// StopBackground halts the cross-traffic generator so the event queue can
+// drain. Safe to call when no background traffic was configured.
+func (tb *Testbed) StopBackground() {
+	if tb.cross != nil {
+		tb.cross.Stop()
+	}
+}
