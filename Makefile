@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet lint ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Enforce the determinism & persistence invariants (see README).
+lint:
+	$(GO) run ./cmd/pmnetlint ./...
+
+# Everything CI runs, in the same order.
+ci: build test race vet lint

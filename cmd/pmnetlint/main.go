@@ -1,0 +1,110 @@
+// Command pmnetlint enforces pmnet's determinism and persistence
+// invariants. It walks the module's packages, runs the analyzers in
+// internal/analysis, and prints findings as file:line:col diagnostics.
+//
+// Usage:
+//
+//	pmnetlint [./... | package-dir ...]
+//
+// Exit codes (machine-readable, for CI):
+//
+//	0  no findings
+//	1  findings reported
+//	2  usage, parse or type-check error
+//
+// Analyzers:
+//
+//   - wallclock:    no time.Now/Sleep/After/... in model code
+//   - randsource:   no math/rand or crypto/rand imports in model code
+//   - maprange:     no order-sensitive map iteration in event-ordering packages
+//   - persistcover: no pmem write without a persist barrier
+//
+// A finding is suppressed by a directive on its line or the line above:
+//
+//	//pmnetlint:ignore <analyzer> <reason>
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pmnet/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmnetlint:", err)
+		return 2
+	}
+	root, modPath, err := analysis.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmnetlint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(root, modPath)
+
+	var targets []analysis.PackageDir
+	all := len(args) == 0
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			all = true
+			continue
+		}
+		abs, err := filepath.Abs(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmnetlint: %s: %v\n", a, err)
+			return 2
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || rel == ".." || filepath.IsAbs(rel) || (len(rel) > 2 && rel[:3] == "..\x2f") {
+			fmt.Fprintf(os.Stderr, "pmnetlint: %s is outside module %s\n", a, modPath)
+			return 2
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		targets = append(targets, analysis.PackageDir{Dir: abs, ImportPath: ip})
+	}
+	if all {
+		pkgs, err := loader.ModulePackages()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmnetlint:", err)
+			return 2
+		}
+		targets = pkgs
+	}
+
+	var findings []analysis.Finding
+	status := 0
+	for _, t := range targets {
+		pkg, err := loader.LoadDir(t.Dir, t.ImportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmnetlint:", err)
+			status = 2
+			continue
+		}
+		findings = append(findings, analysis.RunPackage(pkg, analysis.ForPackage(modPath, t.ImportPath))...)
+	}
+	for _, f := range findings {
+		rel, err := filepath.Rel(cwd, f.Pos.Filename)
+		if err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if status != 0 {
+		return status
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pmnetlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

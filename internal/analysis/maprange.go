@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaprangeAnalyzer flags `for ... range` over map-typed values in the
+// event-ordering packages (sim, netsim, dataplane, harness, server). Go
+// randomises map iteration order per run, so any map range whose body
+// schedules events, appends to a result slice, or picks "the first" match
+// silently breaks bit-reproducibility.
+//
+// Two shapes are allowed without a directive:
+//
+//   - `for range m { ... }` — the body cannot see a key, so iteration order
+//     cannot leak out.
+//   - the canonical key-collection loop `for k := range m { keys =
+//     append(keys, k) }` — the standard prelude to sorting the keys and
+//     ranging the slice instead (ranging a sorted slice is not a map range
+//     and is never flagged).
+//
+// Everything else needs either the sorted-keys rewrite or an explicit
+// `//pmnetlint:ignore maprange <reason>` stating why order cannot matter
+// (e.g. a pure min/max reduction).
+var MaprangeAnalyzer = &Analyzer{
+	Name:  "maprange",
+	Doc:   "flag nondeterministic map iteration in event-ordering packages",
+	Scope: eventOrdering,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if rs.Key == nil || keyCollectionLoop(rs) {
+					return true
+				}
+				pass.Reportf(rs.For,
+					"map iteration order is nondeterministic; range over sorted keys or add //%s maprange <reason>",
+					DirectivePrefix)
+				return true
+			})
+		}
+	},
+}
+
+// keyCollectionLoop recognises `for k := range m { keys = append(keys, k) }`.
+func keyCollectionLoop(rs *ast.RangeStmt) bool {
+	if rs.Value != nil {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	src, ok2 := call.Args[0].(*ast.Ident)
+	arg, ok3 := call.Args[1].(*ast.Ident)
+	return ok && ok2 && ok3 && dst.Name == src.Name && arg.Name == key.Name
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import "strconv"
+
+// forbiddenRandImports are randomness sources whose streams are either
+// non-reproducible (crypto/rand) or unstable across Go releases and
+// goroutine interleavings (math/rand, math/rand/v2). Model code must draw
+// every stochastic input from a seeded sim.Rand.
+var forbiddenRandImports = map[string]string{
+	"math/rand":    "its global stream is shared and its algorithms shift across Go releases",
+	"math/rand/v2": "its stream is not guaranteed stable across Go releases",
+	"crypto/rand":  "it is non-deterministic by design",
+}
+
+// RandsourceAnalyzer forbids importing ambient randomness in model code.
+var RandsourceAnalyzer = &Analyzer{
+	Name:  "randsource",
+	Doc:   "forbid math/rand and crypto/rand imports in model code; use a seeded sim.Rand",
+	Scope: modelCode,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if why, bad := forbiddenRandImports[path]; bad {
+					pass.Reportf(imp.Pos(),
+						"import of %q is forbidden in model code (%s); use a seeded sim.Rand", path, why)
+				}
+			}
+		}
+	},
+}

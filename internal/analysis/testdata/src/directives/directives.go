@@ -1,0 +1,18 @@
+// Package fixture exercises directive validation: a malformed or misnamed
+// ignore directive must itself become a finding and must NOT suppress the
+// finding it sits next to — a typo can never silently disable a check.
+package fixture
+
+func malformedNoReason(m map[int]int, sink func(int)) {
+	//pmnetlint:ignore maprange
+	for k := range m {
+		sink(k)
+	}
+}
+
+func unknownAnalyzer(m map[int]int, sink func(int)) {
+	//pmnetlint:ignore mapranje sorted upstream
+	for k := range m {
+		sink(k)
+	}
+}

@@ -1,0 +1,74 @@
+// Package fixture exercises the maprange analyzer: in event-ordering
+// packages, map iteration order must never leak into schedules or results.
+package fixture
+
+import "sort"
+
+func badSum(m map[string]int, sink func(string)) {
+	for k := range m { // want "map iteration order is nondeterministic"
+		sink(k)
+	}
+}
+
+func badKeyValue(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		out = append(out, v)
+	}
+	return out
+}
+
+func badConditionalCollect(m map[int]bool) []int {
+	var out []int
+	// Not the canonical key-collection shape: the conditional append makes
+	// the slice's contents depend on nothing, but its ORDER on iteration.
+	for k := range m { // want "map iteration order is nondeterministic"
+		if m[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// okSorted is the canonical remediation: collect keys (allowed shape), sort
+// them, and range the slice — slice iteration is never flagged.
+func okSorted(m map[string]int, sink func(string, int)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sink(k, m[k])
+	}
+}
+
+// okNoKey cannot observe iteration order: the body sees neither key nor
+// value, so it runs len(m) identical times.
+func okNoKey(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// okSlice: only map-typed range expressions are in scope.
+func okSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func okIgnored(m map[uint32]int) uint32 {
+	var maxKey uint32
+	//pmnetlint:ignore maprange fixture: pure max reduction is order-independent
+	for k := range m {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	return maxKey
+}

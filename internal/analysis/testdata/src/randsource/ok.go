@@ -1,0 +1,11 @@
+package fixture
+
+import (
+	"math" // a non-random math import is fine
+
+	legacy "math/rand" //pmnetlint:ignore randsource fixture: legacy-stream comparison shim, directive coverage
+)
+
+func legacySample() float64 {
+	return math.Floor(legacy.Float64())
+}

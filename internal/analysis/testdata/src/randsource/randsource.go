@@ -1,0 +1,15 @@
+// Package fixture exercises the randsource analyzer: every stochastic model
+// input must come from a seeded sim.Rand, never from ambient randomness.
+package fixture
+
+import (
+	crand "crypto/rand" // want "crypto/rand"
+	"math/rand"         // want "math/rand"
+	rv2 "math/rand/v2"  // want "math/rand/v2"
+)
+
+func use() (int, int, byte) {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return rand.Int(), rv2.IntN(10), b[0]
+}

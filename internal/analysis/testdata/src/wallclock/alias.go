@@ -1,0 +1,9 @@
+package fixture
+
+import wall "time"
+
+// Renaming the import must not evade the analyzer: detection resolves the
+// package object, not the identifier spelling.
+func badAlias() wall.Time {
+	return wall.Now() // want "time.Now is forbidden"
+}

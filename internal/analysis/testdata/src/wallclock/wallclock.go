@@ -1,0 +1,37 @@
+// Package fixture exercises the wallclock analyzer: model code must take
+// every timestamp from the sim.Engine virtual clock, never the host's.
+package fixture
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now() // want "time.Now is forbidden"
+}
+
+func badWaits() {
+	time.Sleep(time.Millisecond) // want "time.Sleep is forbidden"
+	<-time.After(time.Second)    // want "time.After is forbidden"
+	t := time.NewTimer(time.Second) // want "time.NewTimer is forbidden"
+	t.Stop()
+	k := time.NewTicker(time.Second) // want "time.NewTicker is forbidden"
+	k.Stop()
+}
+
+func badTick() <-chan time.Time {
+	return time.Tick(time.Minute) // want "time.Tick is forbidden"
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since is forbidden"
+}
+
+// okDurations: the virtual clock renders through time.Duration for display
+// only; duration arithmetic and constants must stay legal.
+func okDurations(ns int64) time.Duration {
+	return time.Duration(ns) * time.Nanosecond
+}
+
+func okIgnored() time.Time {
+	//pmnetlint:ignore wallclock fixture: harness-boundary timeout guard, not model time
+	return time.Now()
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forbiddenTimeFuncs are the package-time entry points that read or wait on
+// the wall clock. time.Duration arithmetic and formatting stay legal: the
+// virtual clock (sim.Time) converts to time.Duration for display only.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// WallclockAnalyzer forbids wall-clock access in model code. The DES is
+// bit-reproducible only because every timestamp comes from sim.Engine's
+// virtual clock; a single time.Now() couples results to host scheduling.
+var WallclockAnalyzer = &Analyzer{
+	Name:  "wallclock",
+	Doc:   "forbid time.Now/Sleep/After/... in model code; use the sim.Engine virtual clock",
+	Scope: modelCode,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "time" {
+					return true
+				}
+				if forbiddenTimeFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s is forbidden in model code; schedule on the sim.Engine virtual clock instead",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -128,7 +128,14 @@ func (c *Checker) Check(lookup func(key string) (string, bool)) []Violation {
 		}
 		values[ev.key][ev.value] = true
 	}
-	for key, n := range seen {
+	// Report in sorted key order so violation lists are reproducible.
+	dupKeys := make([]string, 0, len(seen))
+	for key := range seen {
+		dupKeys = append(dupKeys, key)
+	}
+	sort.Strings(dupKeys)
+	for _, key := range dupKeys {
+		n := seen[key]
 		if n <= 1 {
 			continue
 		}

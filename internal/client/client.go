@@ -6,6 +6,7 @@ package client
 
 import (
 	"fmt"
+	"slices"
 
 	"pmnet/internal/netsim"
 	"pmnet/internal/protocol"
@@ -146,11 +147,20 @@ func (s *Session) Stats() Stats { return s.stats }
 // Outstanding returns the number of in-flight requests.
 func (s *Session) Outstanding() int { return len(s.requests) }
 
-// Close ends the session; outstanding requests fail.
+// Close ends the session; outstanding requests fail in issue order (sorted
+// first-fragment seq), so the completion callbacks — which may schedule
+// further events — fire in a reproducible order.
 func (s *Session) Close() {
 	s.closed = true
-	for _, p := range s.requests {
-		s.fail(p, fmt.Errorf("client: session closed"))
+	seqs := make([]uint32, 0, len(s.requests))
+	for seq := range s.requests {
+		seqs = append(seqs, seq)
+	}
+	slices.Sort(seqs)
+	for _, seq := range seqs {
+		if p, ok := s.requests[seq]; ok {
+			s.fail(p, fmt.Errorf("client: session closed"))
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"pmnet/internal/sim"
 )
@@ -114,14 +115,34 @@ func (n *Network) Connect(a, b NodeID, cfg LinkConfig) {
 // reproduces in-order delivery within a flow (§IV-A4 footnote).
 func (n *Network) computeRoutes() {
 	n.routes = make(map[NodeID]map[NodeID]NodeID, len(n.nodes))
-	adj := make(map[NodeID][]NodeID)
+	// Neighbour order steers BFS parent choice between equal-cost paths, so
+	// adjacency lists must be built in sorted link order, never in map
+	// iteration order — otherwise next hops (and thus every delivery time
+	// downstream) could differ from run to run on multipath topologies.
+	linkKeys := make([][2]NodeID, 0, len(n.links))
 	for key := range n.links {
+		linkKeys = append(linkKeys, key)
+	}
+	sort.Slice(linkKeys, func(i, j int) bool {
+		if linkKeys[i][0] != linkKeys[j][0] {
+			return linkKeys[i][0] < linkKeys[j][0]
+		}
+		return linkKeys[i][1] < linkKeys[j][1]
+	})
+	adj := make(map[NodeID][]NodeID)
+	for _, key := range linkKeys {
 		adj[key[0]] = append(adj[key[0]], key[1])
 	}
+	srcs := make([]NodeID, 0, len(n.nodes))
 	for src := range n.nodes {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
 		// BFS from src, recording each node's parent; next hop from any
 		// node toward src is its parent on the BFS tree rooted at src.
 		parent := map[NodeID]NodeID{src: src}
+		order := []NodeID{src}
 		queue := []NodeID{src}
 		for len(queue) > 0 {
 			cur := queue[0]
@@ -129,18 +150,20 @@ func (n *Network) computeRoutes() {
 			for _, nb := range adj[cur] {
 				if _, seen := parent[nb]; !seen {
 					parent[nb] = cur
+					order = append(order, nb)
 					queue = append(queue, nb)
 				}
 			}
 		}
-		for node, par := range parent {
+		// Walk the BFS discovery order, not the parent map.
+		for _, node := range order {
 			if node == src {
 				continue
 			}
 			if n.routes[node] == nil {
 				n.routes[node] = make(map[NodeID]NodeID)
 			}
-			n.routes[node][src] = par
+			n.routes[node][src] = parent[node]
 		}
 	}
 }

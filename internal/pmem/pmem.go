@@ -157,9 +157,13 @@ func (d *Device) Persist(off, n int) error {
 	return nil
 }
 
-// PersistAll flushes every dirty line.
+// PersistAll flushes every dirty line. The whole-device range can only fail
+// on a corrupted Device, so rather than silently dropping the barrier — the
+// exact bug class persistcover exists to catch — a failure panics.
 func (d *Device) PersistAll() {
-	_ = d.Persist(0, len(d.volatile))
+	if err := d.Persist(0, len(d.volatile)); err != nil {
+		panic("pmem: persist all: " + err.Error())
+	}
 }
 
 // Persisted reports whether the whole range [off, off+n) is durable (no

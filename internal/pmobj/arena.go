@@ -132,9 +132,13 @@ func (a *Arena) readU64(off uint64) uint64 {
 	return binary.BigEndian.Uint64(b[:])
 }
 
+// writeU64 stores a big-endian u64 without persisting it. Durability is the
+// caller's contract: callers batch several header words and cover them with
+// one a.persist barrier (see Open, recover, Commit).
 func (a *Arena) writeU64(off, v uint64) {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], v)
+	//pmnetlint:ignore persistcover barrier delegated to caller: header words are batched under one a.persist
 	if err := a.dev.WriteAt(b[:], int(off)); err != nil {
 		panic("pmobj: write: " + err.Error())
 	}
@@ -205,6 +209,7 @@ func (a *Arena) recover() error {
 		off := a.readU64(pos)
 		n := binary.BigEndian.Uint32(a.ReadBytes(pos+8, 4))
 		data := a.ReadBytes(pos+12, int(n))
+		//pmnetlint:ignore persistcover a.persist (Device.Persist wrapper) covers this write two lines below
 		if err := a.dev.WriteAt(data, int(off)); err != nil {
 			return fmt.Errorf("pmobj: recover replay: %w", err)
 		}

@@ -154,10 +154,15 @@ func (tx *Tx) Commit() {
 		panic("pmobj: double commit")
 	}
 	a := tx.a
-	// Fold allocator state into the op list.
+	// Fold allocator state into the op list. Iterate size classes in index
+	// order, not map order: op order fixes the redo-log byte layout and the
+	// stage-3 apply order, both of which a mid-commit crash exposes — map
+	// iteration here would make crash tests nondeterministic.
 	tx.WriteU64(offBump, tx.bump)
-	for c, h := range tx.heads {
-		tx.WriteU64(uint64(offFreeBase+8*c), h)
+	for c := 0; c < nClasses; c++ {
+		if h, ok := tx.heads[c]; ok {
+			tx.WriteU64(uint64(offFreeBase+8*c), h)
+		}
 	}
 
 	base := a.redoBase()
@@ -218,7 +223,10 @@ func (tx *Tx) Commit() {
 	a.tx = nil
 }
 
+// mustWrite stores bytes without persisting them; Commit batches redo-region
+// writes and covers each group with one a.persist barrier.
 func mustWrite(a *Arena, off uint64, data []byte) {
+	//pmnetlint:ignore persistcover barrier delegated to caller: Commit persists each write group explicitly
 	if err := a.dev.WriteAt(data, int(off)); err != nil {
 		panic("pmobj: commit write: " + err.Error())
 	}

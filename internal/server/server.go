@@ -8,6 +8,7 @@ package server
 
 import (
 	"encoding/binary"
+	"slices"
 
 	"pmnet/internal/netsim"
 	"pmnet/internal/pmem"
@@ -349,6 +350,7 @@ func (s *Server) armGapCheck(sessID uint16, st *sessState) {
 		// was never acknowledged, so no guarantee attaches) and stalling
 		// the session forever would wedge every later update.
 		var maxSeq uint32
+		//pmnetlint:ignore maprange pure max reduction; any iteration order yields the same maxSeq
 		for q := range st.buffered {
 			if q > maxSeq {
 				maxSeq = q
@@ -477,11 +479,13 @@ func (s *Server) DebugSessions() map[uint16]struct {
 		NextSeq  uint32
 		Buffered []uint32
 	})
+	//pmnetlint:ignore maprange populates one independent map entry per session; order cannot leak
 	for id, st := range s.sess {
 		var buf []uint32
 		for seq := range st.buffered {
 			buf = append(buf, seq)
 		}
+		slices.Sort(buf)
 		out[id] = struct {
 			NextSeq  uint32
 			Buffered []uint32

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// The golden streams below pin the exact splitmix64 output for fixed seeds.
+// Every experiment's reproducibility contract ("bit-identical results given
+// a seed") bottoms out in this stream: if a refactor of Rand shifts any of
+// these values, previously published experiment outputs silently change.
+// These constants were captured from the initial implementation and must
+// never be regenerated to make a failing test pass — a mismatch means the
+// stream drifted, which is the bug.
+
+var goldenUint64 = map[uint64][8]uint64{
+	0: {0x1C948E1575796814, 0xAE9EF1AB67004BDB, 0x7A2988D31F16E86E, 0x7A5DAEA24EBA3BA7,
+		0xBB83C0C2207AD3E6, 0xE2DA71D9F0E79E32, 0xF037B46F16A54449, 0xAFD7E49C4512EE8C},
+	1: {0xAE9EF1AB67004BDB, 0x7A2988D31F16E86E, 0x7A5DAEA24EBA3BA7, 0xBB83C0C2207AD3E6,
+		0xE2DA71D9F0E79E32, 0xF037B46F16A54449, 0xAFD7E49C4512EE8C, 0x25ADE43F8DCFFC85},
+	42: {0xD6BD449915FC5DB6, 0xE0EBB372A27D4E0B, 0xE881FF7DB53AB26E, 0xB295815C0AD9D50C,
+		0x29748CEC736E65FA, 0x029D4D575B392925, 0x7B5D52485E89F7CE, 0x4A77B5797E686207},
+	0xDEADBEEF: {0xCE0F11D1B520C760, 0xAD0160D8E9250D7A, 0x4B68523FC849783D, 0x08B368C9CDCAA286,
+		0x8AFC420F0DCE10F2, 0x150FCA7F03FE7BA4, 0xFABDE3DAC469EF3C, 0xF16BCC72F44C6043},
+}
+
+func TestRandGoldenUint64(t *testing.T) {
+	for seed, want := range goldenUint64 {
+		r := NewRand(seed)
+		for i, w := range want {
+			if got := r.Uint64(); got != w {
+				t.Fatalf("seed %d: Uint64 #%d = %#016x, want %#016x (splitmix64 stream drifted)",
+					seed, i, got, w)
+			}
+		}
+	}
+}
+
+func TestRandGoldenFloat64(t *testing.T) {
+	want := []float64{
+		0.686888015891849,
+		0.14718462516412945,
+		0.00062271011008874222,
+		0.62168456364315738,
+	}
+	r := NewRand(7)
+	for i, w := range want {
+		if got := r.Float64(); got != w {
+			t.Fatalf("seed 7: Float64 #%d = %.17g, want %.17g", i, got, w)
+		}
+	}
+}
+
+func TestRandGoldenIntn(t *testing.T) {
+	want := []int{58, 42, 13, 93, 99, 36}
+	r := NewRand(11)
+	for i, w := range want {
+		if got := r.Intn(100); got != w {
+			t.Fatalf("seed 11: Intn(100) #%d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRandGoldenFork(t *testing.T) {
+	f := NewRand(5).Fork()
+	want := []uint64{0xCBF82771FD4A2078, 0xF64BBEB061078C3C}
+	for i, w := range want {
+		if got := f.Uint64(); got != w {
+			t.Fatalf("fork of seed 5: Uint64 #%d = %#016x, want %#016x", i, got, w)
+		}
+	}
+}
+
+func TestZipfGoldenStream(t *testing.T) {
+	// Zipf folds Float64 through the YCSB transform; pin it too so the
+	// request-popularity sequence of every workload stays fixed.
+	z := NewZipf(NewRand(99), 1000, 0.99)
+	want := []int{931, 30, 381, 55, 222, 2, 28, 21, 601, 3}
+	for i, w := range want {
+		if got := z.Next(); got != w {
+			t.Fatalf("zipf(n=1000, theta=0.99, seed 99) #%d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRandStreamsIndependent(t *testing.T) {
+	// Same seed → identical stream; regression guard for accidental global
+	// state sneaking into Rand.
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same-seed streams diverged at #%d: %#x != %#x", i, av, bv)
+		}
+	}
+	if math.Abs(NewRand(1).Float64()-NewRand(2).Float64()) == 0 {
+		t.Fatal("different seeds produced identical first Float64")
+	}
+}
