@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci
+.PHONY: all build test race vet lint ci bench bench-json
 
 all: build test
 
@@ -22,3 +22,11 @@ lint:
 
 # Everything CI runs, in the same order.
 ci: build test race vet lint
+
+# Full experiment suite, cells on a GOMAXPROCS-sized worker pool.
+bench:
+	$(GO) run ./cmd/pmnetbench -run all -parallel 0
+
+# Machine-readable form of the same run (schema pmnetbench/v1).
+bench-json:
+	$(GO) run ./cmd/pmnetbench -run all -parallel 0 -json

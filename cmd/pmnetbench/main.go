@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	pmnetbench [-run all|fig2|fig15|fig16|fig18|fig19|fig20|fig21|fig22|recovery|tpcclock] [-seed N]
+//	pmnetbench [-run all|fig2|fig15|fig16|fig18|fig19|fig20|fig21|fig22|recovery|tpcclock] [-seed N] [-parallel N] [-format table|csv|json]
 //
 // Each experiment prints the rows the corresponding figure plots, plus notes
 // comparing the measured shape against the paper's reported numbers.
+// Experiment cells are independent simulations; -parallel N executes them on a
+// worker pool of that size (0 = GOMAXPROCS) with output byte-identical to
+// -parallel 1. -json (or -format json) emits the machine-readable form with
+// per-cell virtual-time stats and real wall-clock timings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,11 +23,82 @@ import (
 	"pmnet/internal/harness"
 )
 
+// The JSON document: schema "pmnetbench/v1".
+type jsonDoc struct {
+	Schema      string           `json:"schema"`
+	Seed        uint64           `json:"seed"`
+	Parallel    int              `json:"parallel"`
+	WallMs      float64          `json:"wall_ms"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Columns []string           `json:"columns"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	WallMs  float64            `json:"wall_ms"`
+	Cells   []jsonCell         `json:"cells"`
+}
+
+type jsonCell struct {
+	Key       string  `json:"key"`
+	WallMs    float64 `json:"wall_ms"`
+	VirtualUs float64 `json:"virtual_us"`
+	Requests  uint64  `json:"requests,omitempty"`
+	MeanUs    float64 `json:"mean_us,omitempty"`
+	P50Us     float64 `json:"p50_us,omitempty"`
+	P99Us     float64 `json:"p99_us,omitempty"`
+}
+
+func toJSON(b *harness.BatchResult) jsonDoc {
+	doc := jsonDoc{
+		Schema:   "pmnetbench/v1",
+		Seed:     b.Seed,
+		Parallel: b.Parallel,
+		WallMs:   float64(b.Wall.Microseconds()) / 1e3,
+	}
+	for _, er := range b.Experiments {
+		je := jsonExperiment{
+			ID:      er.ID,
+			Title:   er.Table.Title,
+			Columns: er.Table.Columns,
+			Rows:    er.Table.Rows,
+			Notes:   er.Notes,
+			Metrics: er.Metrics,
+			WallMs:  float64(er.Wall.Microseconds()) / 1e3,
+		}
+		if je.Notes == nil {
+			je.Notes = []string{}
+		}
+		for _, c := range er.Cells {
+			jc := jsonCell{
+				Key:       c.Key,
+				WallMs:    float64(c.Wall.Microseconds()) / 1e3,
+				VirtualUs: c.VirtualEnd.Micros(),
+			}
+			if c.Run != nil && c.Run.Requests > 0 {
+				jc.Requests = c.Run.Requests
+				jc.MeanUs = c.Run.Hist.Mean().Micros()
+				jc.P50Us = c.Run.Hist.Percentile(50).Micros()
+				jc.P99Us = c.Run.Hist.Percentile(99).Micros()
+			}
+			je.Cells = append(je.Cells, jc)
+		}
+		doc.Experiments = append(doc.Experiments, je)
+	}
+	return doc
+}
+
 func main() {
 	run := flag.String("run", "all", "experiment id or 'all'")
 	seed := flag.Uint64("seed", 1, "simulation seed (experiments are deterministic per seed)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	format := flag.String("format", "table", "output format: table | csv")
+	format := flag.String("format", "table", "output format: table | csv | json")
+	parallel := flag.Int("parallel", 0, "cell worker-pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "shorthand for -format json")
 	flag.Parse()
 
 	if *list {
@@ -31,13 +107,16 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut {
+		*format = "json"
+	}
 
 	var ids []string
 	if *run == "all" {
 		ids = harness.ExperimentOrder
 	} else {
 		for _, id := range strings.Split(*run, ",") {
-			if _, ok := harness.Experiments[id]; !ok {
+			if _, ok := harness.Specs[id]; !ok {
 				fmt.Fprintf(os.Stderr, "pmnetbench: unknown experiment %q (use -list)\n", id)
 				os.Exit(2)
 			}
@@ -45,20 +124,37 @@ func main() {
 		}
 	}
 
-	for i, id := range ids {
-		if i > 0 {
-			fmt.Println()
+	batch, err := harness.RunExperiments(ids, harness.Options{Seed: *seed, Parallel: *parallel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmnetbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(toJSON(batch)); err != nil {
+			fmt.Fprintf(os.Stderr, "pmnetbench: %v\n", err)
+			os.Exit(1)
 		}
-		res := harness.Experiments[id](*seed)
-		switch *format {
-		case "csv":
-			fmt.Printf("# %s: %s\n", res.ID, res.Table.Title)
-			fmt.Print(res.Table.CSV())
-		default:
-			fmt.Print(res.Table.Format())
-			for _, n := range res.Notes {
-				fmt.Printf("  note: %s\n", n)
+	case "csv":
+		for i, er := range batch.Experiments {
+			if i > 0 {
+				fmt.Println()
 			}
+			fmt.Printf("# %s: %s\n", er.ID, er.Table.Title)
+			fmt.Print(er.Table.CSV())
+			for _, n := range er.Notes {
+				fmt.Printf("# note: %s\n", n)
+			}
+		}
+	default:
+		for i, er := range batch.Experiments {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(er.Text())
 		}
 	}
 }

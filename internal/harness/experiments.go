@@ -2,10 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
-	"pmnet"
-	"pmnet/internal/netsim"
-	"pmnet/internal/sim"
 	"pmnet/internal/stats"
 )
 
@@ -19,8 +17,50 @@ type Result struct {
 	Metrics map[string]float64
 }
 
-// Experiments maps experiment IDs to their runners (cheap defaults; the
-// benchmarks run larger instances).
+// Text renders the result exactly as `pmnetbench` prints it in table mode:
+// the formatted table followed by the notes. The golden parallel test
+// compares this rendering byte-for-byte across pool sizes.
+func (r Result) Text() string {
+	var b strings.Builder
+	b.WriteString(r.Table.Format())
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Specs maps experiment IDs to their cell-enumeration + rendering split
+// (cheap defaults; the benchmarks run scaled-down instances separately).
+var Specs = map[string]*Spec{
+	"fig2":     {ID: "fig2", Enumerate: fig2Cells, Render: fig2Render},
+	"fig15":    {ID: "fig15", Enumerate: fig15Cells, Render: fig15Render},
+	"fig16":    {ID: "fig16", Enumerate: fig16Cells, Render: fig16Render},
+	"fig18":    {ID: "fig18", Enumerate: fig18Cells, Render: fig18Render},
+	"fig19":    fig19Spec(16, 150),
+	"fig20":    {ID: "fig20", Enumerate: fig20Cells, Render: fig20Render},
+	"fig20cdf": {ID: "fig20cdf", Enumerate: fig20cdfCells, Render: fig20cdfRender},
+	"fig21":    {ID: "fig21", Enumerate: fig21Cells, Render: fig21Render},
+	"fig22":    {ID: "fig22", Enumerate: fig22Cells, Render: fig22Render},
+	"recovery": {ID: "recovery", Enumerate: recoveryCells, Render: recoveryRender},
+	"tpcclock": {ID: "tpcclock", Enumerate: tpcclockCells, Render: tpcclockRender},
+	"tail":     {ID: "tail", Enumerate: tailCells, Render: tailRender},
+}
+
+// fig19Spec parameterizes the Figure 19 sweep; the registered experiment
+// runs the full-size instance, tests run smaller ones.
+func fig19Spec(clients, requests int) *Spec {
+	return &Spec{
+		ID: "fig19",
+		Enumerate: func(seed uint64) []Cell {
+			return fig19Cells(seed, clients, requests)
+		},
+		Render: fig19Render,
+	}
+}
+
+// Experiments maps experiment IDs to their single-call runners. Retained as
+// the sequential per-figure API; RunExperiments executes batches on a worker
+// pool.
 var Experiments = map[string]func(seed uint64) Result{
 	"fig2":     Fig2Breakdown,
 	"fig15":    Fig15PayloadSweep,
@@ -42,628 +82,43 @@ var ExperimentOrder = []string{
 	"fig22", "recovery", "tpcclock", "tail",
 }
 
-// Fig2Breakdown reproduces Figure 2: the latency breakdown of an update
-// request in the baseline Client-Server system, showing the server side
-// (kernel network stack + request processing) dominating at ≈70%.
-func Fig2Breakdown(seed uint64) Result {
-	res := mustRun(RunConfig{
-		Design: pmnet.ClientServer, Workload: WLHashmap,
-		Clients: 1, Requests: 800, Warmup: 50, UpdateRatio: 1.0, Seed: seed,
-	})
-	total := float64(res.Run.Hist.Mean())
+// Fig2Breakdown reproduces Figure 2 (see fig2Render).
+func Fig2Breakdown(seed uint64) Result { return RunSpec(Specs["fig2"], seed, 1) }
 
-	// Component means from the calibrated models (two traversals each for
-	// the host stacks, measured handler cost via a probe run).
-	clientStack := 2 * float64(netsim.ClientKernelStack.Mean())
-	serverStack := 2 * float64(netsim.ServerKernelStack.Mean())
-	// Wire: client→tor→server and back: 4 link traversals + 2 switch hops.
-	wire := 4*float64(sim.Microsecond) + 2*float64(netsim.DefaultSwitchLatency) +
-		4*float64(146*8)/10e9*1e9 // serialization of a ~146B frame at 10G
-	processing := total - clientStack - serverStack - wire
-	if processing < 0 {
-		processing = 0
-	}
+// Fig15PayloadSweep reproduces Figure 15 (see fig15Render).
+func Fig15PayloadSweep(seed uint64) Result { return RunSpec(Specs["fig15"], seed, 1) }
 
-	t := stats.Table{
-		Title:   "Figure 2: Latency breakdown of an update request (Client-Server baseline)",
-		Columns: []string{"component", "mean (us)", "share"},
-	}
-	pct := func(v float64) string { return fmt.Sprintf("%.0f%%", 100*v/total) }
-	t.AddRow("client network stack", fmt.Sprintf("%.2f", clientStack/1e3), pct(clientStack))
-	t.AddRow("network (wire+switch)", fmt.Sprintf("%.2f", wire/1e3), pct(wire))
-	t.AddRow("server network stack", fmt.Sprintf("%.2f", serverStack/1e3), pct(serverStack))
-	t.AddRow("server processing", fmt.Sprintf("%.2f", processing/1e3), pct(processing))
-	t.AddRow("total RTT", fmt.Sprintf("%.2f", total/1e3), "100%")
-	serverShare := (serverStack + processing) / total
-	return Result{
-		ID:    "fig2",
-		Table: t,
-		Notes: []string{fmt.Sprintf("server-side share = %.0f%% (paper: ~70%%)", serverShare*100)},
-		Metrics: map[string]float64{
-			"server_share": serverShare,
-			"total_us":     total / 1e3,
-		},
-	}
-}
+// Fig16StressTest reproduces Figure 16 (see fig16Render).
+func Fig16StressTest(seed uint64) Result { return RunSpec(Specs["fig16"], seed, 1) }
 
-// Fig15PayloadSweep reproduces Figure 15: update RTT of the ideal request
-// handler as payload grows from 50 B to 1000 B, for the three designs.
-// Paper: 2.83×/2.90× speedup at 50 B, ≈2.19× at 1000 B.
-func Fig15PayloadSweep(seed uint64) Result {
-	payloads := []int{50, 100, 200, 400, 600, 800, 1000}
-	t := stats.Table{
-		Title: "Figure 15: Update latency of an ideal request handler vs payload size",
-		Columns: []string{"payload (B)", "Client-Server (us)", "PMNet-Switch (us)",
-			"PMNet-NIC (us)", "switch speedup", "nic speedup"},
-	}
-	metrics := map[string]float64{}
-	for _, p := range payloads {
-		base := mustRun(RunConfig{Design: pmnet.ClientServer, Workload: WLIdeal,
-			Requests: 600, Warmup: 50, ValueSize: p, UpdateRatio: 1, Seed: seed})
-		sw := mustRun(RunConfig{Design: pmnet.PMNetSwitch, Workload: WLIdeal,
-			Requests: 600, Warmup: 50, ValueSize: p, UpdateRatio: 1, Seed: seed})
-		nic := mustRun(RunConfig{Design: pmnet.PMNetNIC, Workload: WLIdeal,
-			Requests: 600, Warmup: 50, ValueSize: p, UpdateRatio: 1, Seed: seed})
-		bm := float64(base.Run.Hist.Mean())
-		sm := float64(sw.Run.Hist.Mean())
-		nm := float64(nic.Run.Hist.Mean())
-		t.AddRow(fmt.Sprintf("%d", p), fmt.Sprintf("%.1f", bm/1e3),
-			fmt.Sprintf("%.1f", sm/1e3), fmt.Sprintf("%.1f", nm/1e3),
-			ratio(bm, sm), ratio(bm, nm))
-		metrics[fmt.Sprintf("speedup_switch_%d", p)] = bm / sm
-		metrics[fmt.Sprintf("speedup_nic_%d", p)] = bm / nm
-		metrics[fmt.Sprintf("switch_nic_gap_us_%d", p)] = (sm - nm) / 1e3
-	}
-	return Result{
-		ID:    "fig15",
-		Table: t,
-		Notes: []string{
-			"Paper: 2.83x (switch) / 2.90x (NIC) at 50B; ~2.19x at 1000B;",
-			"switch-vs-NIC gap under 1us.",
-		},
-		Metrics: metrics,
-	}
-}
+// Fig18AltDesigns reproduces Figure 18 (see fig18Render).
+func Fig18AltDesigns(seed uint64) Result { return RunSpec(Specs["fig18"], seed, 1) }
 
-// Fig16StressTest reproduces Figure 16: bandwidth vs latency as client
-// count scales, with the latency spike at the 10 Gbps line rate.
-func Fig16StressTest(seed uint64) Result {
-	t := stats.Table{
-		Title: "Figure 16: Bandwidth vs latency under stress (1000B requests)",
-		Columns: []string{"clients", "design", "offered Gbps", "mean lat (us)",
-			"p99 lat (us)"},
-	}
-	metrics := map[string]float64{}
-	for _, design := range []pmnet.Design{pmnet.ClientServer, pmnet.PMNetSwitch} {
-		for _, clients := range []int{1, 4, 16, 32, 64, 96} {
-			res := mustRun(RunConfig{
-				Design: design, Workload: WLIdeal, Clients: clients,
-				Requests: 250, Warmup: 20, ValueSize: 1000, UpdateRatio: 1, Seed: seed,
-			})
-			// Offered load: completed requests × wire size / elapsed.
-			wire := float64(1000+netsim.UDPOverhead+16) * 8
-			gbps := res.Run.Throughput() * wire / 1e9
-			t.AddRow(fmt.Sprintf("%d", clients), design.String(),
-				fmt.Sprintf("%.2f", gbps),
-				us(res.Run.Hist.Mean()), us(res.Run.Hist.Percentile(99)))
-			key := fmt.Sprintf("%s_%d", map[pmnet.Design]string{
-				pmnet.ClientServer: "base", pmnet.PMNetSwitch: "pmnet"}[design], clients)
-			metrics["gbps_"+key] = gbps
-			metrics["lat_us_"+key] = float64(res.Run.Hist.Mean()) / 1e3
-		}
-	}
-	return Result{
-		ID:    "fig16",
-		Table: t,
-		Notes: []string{
-			"Latency flat below saturation, spikes as offered load reaches the",
-			"10 Gbps line rate; PMNet latency below baseline throughout.",
-		},
-		Metrics: metrics,
-	}
-}
+// Fig19Throughput reproduces Figure 19 at full size (see fig19Render).
+func Fig19Throughput(seed uint64) Result { return RunSpec(Specs["fig19"], seed, 1) }
 
-// Fig18AltDesigns reproduces Figure 18: PMNet vs client-side logging vs
-// server-side logging, with and without 3-way replication. The alternative
-// designs are composed from the same calibrated component models
-// (client-side logging per [4], server-side logging per [56]); PMNet and
-// the baseline run on the full simulation.
-func Fig18AltDesigns(seed uint64) Result {
-	r := sim.NewRand(seed + 5)
-	const n = 2000
-	sample := func(fn func() float64) float64 {
-		var sum float64
-		for i := 0; i < n; i++ {
-			sum += fn()
-		}
-		return sum / n
-	}
-	pmWrite := 313.0 // ns: 273 media + serialization of ~100B
-	// Client-side logging: app → local logger process round trip (two
-	// client-stack traversals) + PM write.
-	clientLog := sample(func() float64 {
-		return float64(netsim.ClientKernelStack.Sample(r)) +
-			float64(netsim.ClientKernelStack.Sample(r)) + pmWrite
-	})
-	// +3-way replication: ship the log to two peer clients in parallel
-	// (client stack out, wire, peer stack in, and back); the client
-	// proceeds when the slower peer has confirmed.
-	peerRTT := func() float64 {
-		return 2*float64(netsim.ClientKernelStack.Sample(r)) +
-			2*float64(netsim.ClientKernelStack.Sample(r)) +
-			4*float64(sim.Microsecond)
-	}
-	clientLog3 := sample(func() float64 {
-		a, b := peerRTT(), peerRTT()
-		if b > a {
-			a = b
-		}
-		return float64(netsim.ClientKernelStack.Sample(r)) +
-			float64(netsim.ClientKernelStack.Sample(r)) + pmWrite + a
-	})
-	// Server-side logging: full network path; the server logs at the edge
-	// of its stack and acks immediately (processing off the path).
-	wire := 4*float64(sim.Microsecond) + 2*float64(netsim.DefaultSwitchLatency)
-	serverLog := sample(func() float64 {
-		return 2*float64(netsim.ClientKernelStack.Sample(r)) +
-			2*float64(netsim.ServerKernelStack.Sample(r)) + wire + pmWrite
-	})
-	// +replication: the primary synchronously ships the log to a replica
-	// server before acking (server↔server RTT).
-	serverLog3 := sample(func() float64 {
-		return 2*float64(netsim.ClientKernelStack.Sample(r)) +
-			2*float64(netsim.ServerKernelStack.Sample(r)) + wire + pmWrite +
-			2*float64(netsim.ServerKernelStack.Sample(r)) + wire + pmWrite
-	})
-
-	pm1 := mustRun(RunConfig{Design: pmnet.PMNetSwitch, Workload: WLIdeal,
-		Requests: 800, Warmup: 50, UpdateRatio: 1, Seed: seed})
-	pm3 := mustRun(RunConfig{Design: pmnet.PMNetSwitch, Workload: WLIdeal,
-		Requests: 800, Warmup: 50, UpdateRatio: 1, Replication: 3, Seed: seed})
-
-	pmnet1 := float64(pm1.Run.Hist.Mean())
-	pmnet3 := float64(pm3.Run.Hist.Mean())
-
-	t := stats.Table{
-		Title:   "Figure 18: PMNet vs alternative logging designs (mean update latency)",
-		Columns: []string{"design", "no repl (us)", "3-way repl (us)"},
-	}
-	t.AddRow("client-side logging", fmt.Sprintf("%.2f", clientLog/1e3), fmt.Sprintf("%.2f", clientLog3/1e3))
-	t.AddRow("PMNet", fmt.Sprintf("%.2f", pmnet1/1e3), fmt.Sprintf("%.2f", pmnet3/1e3))
-	t.AddRow("server-side logging", fmt.Sprintf("%.2f", serverLog/1e3), fmt.Sprintf("%.2f", serverLog3/1e3))
-	return Result{
-		ID:    "fig18",
-		Table: t,
-		Notes: []string{
-			"Paper: 10.4 / 21.5 / 47.97 us without repl; 41.61 / 22.8 / 94.02 with.",
-			"Shape: client-side fastest unreplicated, PMNet near-flat under",
-			"replication, server-side worst throughout.",
-		},
-		Metrics: map[string]float64{
-			"client_us": clientLog / 1e3, "client3_us": clientLog3 / 1e3,
-			"pmnet_us": pmnet1 / 1e3, "pmnet3_us": pmnet3 / 1e3,
-			"server_us": serverLog / 1e3, "server3_us": serverLog3 / 1e3,
-		},
-	}
-}
-
-// Fig19Throughput reproduces Figure 19: per-workload throughput of PMNet
-// normalized to the Client-Server baseline as the update ratio falls from
-// 100% to 25%. Paper: 4.31× average at 100% updates, shrinking with more
-// reads.
-func Fig19Throughput(seed uint64) Result {
-	return fig19(seed, 16, 150)
-}
-
+// fig19 runs a custom-size Figure 19 sweep (tests use smaller instances).
 func fig19(seed uint64, clients, requests int) Result {
-	ratios := []float64{1.0, 0.75, 0.5, 0.25}
-	t := stats.Table{
-		Title:   "Figure 19: Throughput normalized to Client-Server vs update ratio",
-		Columns: []string{"workload", "100%", "75%", "50%", "25%"},
-	}
-	metrics := map[string]float64{}
-	sums := make([]float64, len(ratios))
-	for _, wl := range AllWorkloads {
-		row := []string{string(wl)}
-		for ri, ratio := range ratios {
-			base := mustRun(RunConfig{Design: pmnet.ClientServer, Workload: wl,
-				Clients: clients, Requests: requests, Warmup: 20,
-				UpdateRatio: ratio, Seed: seed})
-			pm := mustRun(RunConfig{Design: pmnet.PMNetSwitch, Workload: wl,
-				Clients: clients, Requests: requests, Warmup: 20,
-				UpdateRatio: ratio, Seed: seed})
-			speedup := pm.Run.Throughput() / base.Run.Throughput()
-			row = append(row, fmt.Sprintf("%.2fx", speedup))
-			metrics[fmt.Sprintf("%s_%d", wl, int(ratio*100))] = speedup
-			sums[ri] += speedup
-		}
-		t.AddRow(row...)
-	}
-	avg := []string{"average"}
-	for ri := range ratios {
-		mean := sums[ri] / float64(len(AllWorkloads))
-		avg = append(avg, fmt.Sprintf("%.2fx", mean))
-		metrics[fmt.Sprintf("avg_%d", int(ratios[ri]*100))] = mean
-	}
-	t.AddRow(avg...)
-	return Result{
-		ID:    "fig19",
-		Table: t,
-		Notes: []string{
-			"Paper: 4.31x average at 100% updates; benefit shrinks as the read",
-			"share grows (reads bypass PMNet without caching).",
-		},
-		Metrics: metrics,
-	}
+	return RunSpec(fig19Spec(clients, requests), seed, 1)
 }
 
-// Fig20CacheCDF reproduces Figure 20: request-latency CDFs at 100% and 50%
-// updates for Client-Server, PMNet, and PMNet+cache. Paper: 3.36× average
-// with caching, 3.23× better 99th percentile at 100% updates, and the
-// characteristic 50th-percentile knee for PMNet-without-cache at 50%.
-func Fig20CacheCDF(seed uint64) Result {
-	t := stats.Table{
-		Title: "Figure 20: Request latency distribution (KV workloads, zipfian reads)",
-		Columns: []string{"updates", "design", "mean (us)", "p50 (us)",
-			"p90 (us)", "p99 (us)"},
-	}
-	metrics := map[string]float64{}
-	for _, ur := range []float64{1.0, 0.5} {
-		for _, d := range []struct {
-			name  string
-			des   pmnet.Design
-			cache int
-		}{
-			{"Client-Server", pmnet.ClientServer, 0},
-			{"PMNet", pmnet.PMNetSwitch, 0},
-			{"PMNet+cache", pmnet.PMNetSwitch, 4096},
-		} {
-			res := mustRun(RunConfig{
-				Design: d.des, Workload: WLHashmap, Clients: 4,
-				Requests: 400, Warmup: 40, UpdateRatio: ur, Zipfian: true,
-				CacheSize: d.cache, Keys: 1000, Seed: seed,
-			})
-			h := res.Run.Hist
-			t.AddRow(fmt.Sprintf("%.0f%%", ur*100), d.name, us(h.Mean()),
-				us(h.Percentile(50)), us(h.Percentile(90)), us(h.Percentile(99)))
-			key := fmt.Sprintf("%s_%d", d.name, int(ur*100))
-			metrics["mean_us_"+key] = float64(h.Mean()) / 1e3
-			metrics["p99_us_"+key] = float64(h.Percentile(99)) / 1e3
-			metrics["p90_us_"+key] = float64(h.Percentile(90)) / 1e3
-			metrics["p50_us_"+key] = float64(h.Percentile(50)) / 1e3
-		}
-	}
-	return Result{
-		ID:    "fig20",
-		Table: t,
-		Notes: []string{
-			"Paper: with 50% updates PMNet-no-cache has a knee at p50 (reads",
-			"unoptimized); PMNet+cache keeps the benefit into the tail.",
-			"3.36x average, 3.23x p99 at 100% updates.",
-		},
-		Metrics: metrics,
-	}
-}
+// Fig20CacheCDF reproduces Figure 20's percentile table (see fig20Render).
+func Fig20CacheCDF(seed uint64) Result { return RunSpec(Specs["fig20"], seed, 1) }
 
-// Fig21Replication reproduces Figure 21: update latency in a 3-way
-// replication system, normalized to the no-replication Client-Server
-// design. Paper: PMNet replication 5.88× better than server-side
-// replication; 16% overhead over single-PMNet logging.
-func Fig21Replication(seed uint64) Result {
-	base := mustRun(RunConfig{Design: pmnet.ClientServer, Workload: WLIdeal,
-		Requests: 800, Warmup: 50, UpdateRatio: 1, Seed: seed})
-	pm1 := mustRun(RunConfig{Design: pmnet.PMNetSwitch, Workload: WLIdeal,
-		Requests: 800, Warmup: 50, UpdateRatio: 1, Seed: seed})
-	pm3 := mustRun(RunConfig{Design: pmnet.PMNetSwitch, Workload: WLIdeal,
-		Requests: 800, Warmup: 50, UpdateRatio: 1, Replication: 3, Seed: seed})
+// Fig20FullCDF emits Figure 20's full CDFs (see fig20cdfRender).
+func Fig20FullCDF(seed uint64) Result { return RunSpec(Specs["fig20cdf"], seed, 1) }
 
-	// Server-side 3-way replication: the primary commits to two replicas
-	// before acking; model the replica sync as a server↔server RTT appended
-	// to the baseline request path (sampled like Fig. 18).
-	r := sim.NewRand(seed + 9)
-	var syncSum float64
-	const n = 2000
-	for i := 0; i < n; i++ {
-		syncSum += 2*float64(netsim.ServerKernelStack.Sample(r)) +
-			2*float64(sim.Microsecond) + 313
-	}
-	serverRepl := float64(base.Run.Hist.Mean()) + syncSum/n
+// Fig21Replication reproduces Figure 21 (see fig21Render).
+func Fig21Replication(seed uint64) Result { return RunSpec(Specs["fig21"], seed, 1) }
 
-	baseMean := float64(base.Run.Hist.Mean())
-	pm1Mean := float64(pm1.Run.Hist.Mean())
-	pm3Mean := float64(pm3.Run.Hist.Mean())
+// Fig22OptStack reproduces Figure 22 (see fig22Render).
+func Fig22OptStack(seed uint64) Result { return RunSpec(Specs["fig22"], seed, 1) }
 
-	t := stats.Table{
-		Title:   "Figure 21: Update latency with 3-way replication (normalized to no-repl Client-Server)",
-		Columns: []string{"design", "latency (us)", "normalized"},
-	}
-	norm := func(v float64) string { return fmt.Sprintf("%.2f", v/baseMean) }
-	t.AddRow("Client-Server (no repl)", fmt.Sprintf("%.2f", baseMean/1e3), "1.00")
-	t.AddRow("Server-side 3-way repl", fmt.Sprintf("%.2f", serverRepl/1e3), norm(serverRepl))
-	t.AddRow("PMNet (single log)", fmt.Sprintf("%.2f", pm1Mean/1e3), norm(pm1Mean))
-	t.AddRow("PMNet 3-way repl", fmt.Sprintf("%.2f", pm3Mean/1e3), norm(pm3Mean))
-	return Result{
-		ID:    "fig21",
-		Table: t,
-		Notes: []string{
-			fmt.Sprintf("PMNet-repl vs server-repl: %.2fx (paper: 5.88x);", serverRepl/pm3Mean),
-			fmt.Sprintf("replication overhead over single PMNet: %.0f%% (paper: 16%%).",
-				100*(pm3Mean/pm1Mean-1)),
-		},
-		Metrics: map[string]float64{
-			"pmnet_vs_server_repl": serverRepl / pm3Mean,
-			"repl_overhead":        pm3Mean/pm1Mean - 1,
-		},
-	}
-}
+// RecoveryExperiment reproduces §VI-B6 (see recoveryRender).
+func RecoveryExperiment(seed uint64) Result { return RunSpec(Specs["recovery"], seed, 1) }
 
-// Fig22OptStack reproduces Figure 22: update throughput with the default
-// kernel stacks vs libVMA-style bypass stacks. Paper: PMNet wins 3.08× on
-// the kernel stack and still 3.56× with bypass stacks.
-func Fig22OptStack(seed uint64) Result {
-	t := stats.Table{
-		Title:   "Figure 22: Update throughput with an optimized (kernel-bypass) network stack",
-		Columns: []string{"design", "throughput (req/s)", "vs baseline"},
-	}
-	metrics := map[string]float64{}
-	var baseKernel float64
-	rows := []struct {
-		name   string
-		design pmnet.Design
-		stacks pmnet.StackKind
-	}{
-		{"Client-Server", pmnet.ClientServer, pmnet.KernelStack},
-		{"PMNet", pmnet.PMNetSwitch, pmnet.KernelStack},
-		{"Client-Server + libVMA", pmnet.ClientServer, pmnet.BypassStack},
-		{"PMNet + libVMA", pmnet.PMNetSwitch, pmnet.BypassStack},
-	}
-	tp := make([]float64, len(rows))
-	for i, row := range rows {
-		res := mustRun(RunConfig{Design: row.design, Workload: WLIdeal,
-			Clients: 8, Requests: 250, Warmup: 20, UpdateRatio: 1,
-			Stacks: row.stacks, Seed: seed})
-		tp[i] = res.Run.Throughput()
-		if i == 0 {
-			baseKernel = tp[i]
-		}
-		t.AddRow(row.name, fmt.Sprintf("%.0f", tp[i]), fmt.Sprintf("%.2fx", tp[i]/baseKernel))
-	}
-	metrics["kernel_speedup"] = tp[1] / tp[0]
-	metrics["bypass_speedup"] = tp[3] / tp[2]
-	return Result{
-		ID:    "fig22",
-		Table: t,
-		Notes: []string{
-			fmt.Sprintf("PMNet speedup: %.2fx on kernel stacks (paper 3.08x), %.2fx with bypass (paper 3.56x).",
-				metrics["kernel_speedup"], metrics["bypass_speedup"]),
-		},
-		Metrics: metrics,
-	}
-}
+// TPCCLockStats reproduces the §III-C lock statistic (see tpcclockRender).
+func TPCCLockStats(seed uint64) Result { return RunSpec(Specs["tpcclock"], seed, 1) }
 
-// RecoveryExperiment reproduces §VI-B6: crash the server with the PMNet log
-// full of unacknowledged updates, restore power, and measure the replay.
-// Paper: 67 µs per resent request; full recovery seconds, well under the
-// 2–3 minute server boot.
-func RecoveryExperiment(seed uint64) Result {
-	bed := pmnet.NewTestbed(pmnet.Config{
-		Design: pmnet.PMNetSwitch, Clients: 4, Seed: seed,
-		Timeout: 50 * sim.Millisecond, // keep clients from re-driving recovery
-	})
-	// Load updates, then cut the power mid-stream.
-	for i := 0; i < 4; i++ {
-		i := i
-		var issue func(k int)
-		issue = func(k int) {
-			if k >= 200 {
-				return
-			}
-			key := []byte(fmt.Sprintf("c%d-k%03d", i, k))
-			bed.Session(i).SendUpdate(pmnet.PutReq(key, make([]byte, 100)), func(r pmnet.Result) {
-				issue(k + 1)
-			})
-		}
-		issue(0)
-	}
-	bed.RunFor(300 * sim.Microsecond)
-	bed.CrashServer()
-	bed.RunFor(200 * sim.Microsecond) // clients keep logging into PMNet
-	logged := bed.Devices[0].Log().LiveEntries()
-	start := bed.Now()
-	bed.RecoverServer()
-	bed.Run()
-	recoveryTime := bed.Now() - start
-	resends := bed.Devices[0].Stats().RecoveryResends
-	perReq := sim.Time(0)
-	if resends > 0 {
-		perReq = recoveryTime / sim.Time(resends)
-	}
-
-	t := stats.Table{
-		Title:   "Recovery from server failure (§VI-B6)",
-		Columns: []string{"metric", "value"},
-	}
-	t.AddRow("log entries at crash", fmt.Sprintf("%d", logged))
-	t.AddRow("requests replayed", fmt.Sprintf("%d", resends))
-	t.AddRow("per-request resend", fmt.Sprintf("%.1f us", perReq.Micros()))
-	t.AddRow("total recovery", fmt.Sprintf("%.2f ms", float64(recoveryTime)/1e6))
-	t.AddRow("log drained", fmt.Sprintf("%v", bed.Devices[0].Log().LiveEntries() == 0))
-	return Result{
-		ID:    "recovery",
-		Table: t,
-		Notes: []string{"Paper: 67 us per resent request; total recovery a small fraction of the 2-3 min boot."},
-		Metrics: map[string]float64{
-			"per_request_us": perReq.Micros(),
-			"replayed":       float64(resends),
-			"drained":        boolTo01(bed.Devices[0].Log().LiveEntries() == 0),
-		},
-	}
-}
-
-// TPCCLockStats reproduces the §III-C statistic: the fraction of TPCC
-// requests that access the locking primitive (paper: 13.7%).
-func TPCCLockStats(seed uint64) Result {
-	res := mustRun(RunConfig{Design: pmnet.PMNetSwitch, Workload: WLTPCC,
-		Clients: 4, Requests: 400, Warmup: 0, UpdateRatio: 0.88, Seed: seed})
-	total := res.Driver.Updates + res.Driver.Bypasses
-	frac := float64(res.Driver.LockOps) / float64(total)
-	t := stats.Table{
-		Title:   "TPCC locking primitive usage (§III-C)",
-		Columns: []string{"metric", "value"},
-	}
-	t.AddRow("total requests", fmt.Sprintf("%d", total))
-	t.AddRow("lock requests", fmt.Sprintf("%d", res.Driver.LockOps))
-	t.AddRow("lock fraction", fmt.Sprintf("%.1f%%", frac*100))
-	t.AddRow("lock retries", fmt.Sprintf("%d", res.Driver.LockRetries))
-	return Result{
-		ID:    "tpcclock",
-		Table: t,
-		Notes: []string{"Paper: 13.7% of TPCC requests access the locking primitive."},
-		Metrics: map[string]float64{
-			"lock_fraction": frac,
-		},
-	}
-}
-
-func boolTo01(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// TailContention is an extension beyond the paper's figures: it quantifies
-// the §I claim that the server is a shared, contended resource whose
-// queueing drives tail latency — and that PMNet hides it. A fleet of
-// background clients keeps the server CPU near saturation with reads; the
-// baseline's update p99 balloons behind that queue, while PMNet updates
-// complete at the device, off the contended path.
-func TailContention(seed uint64) Result {
-	t := stats.Table{
-		Title:   "Extension: update tail latency under server contention",
-		Columns: []string{"background", "design", "p50 (us)", "p99 (us)"},
-	}
-	metrics := map[string]float64{}
-	measure := func(d pmnet.Design, noisy bool) *stats.Histogram {
-		bed := pmnet.NewTestbed(pmnet.Config{
-			Design:  d,
-			Clients: 4 + 100, // 4 measured updaters + 100 background readers
-			Seed:    seed,
-			Handler: pmnet.IdealHandler{Cost: 25 * sim.Microsecond},
-		})
-		h := stats.NewHistogram()
-		for c := 0; c < 4; c++ {
-			c := c
-			var issue func(k int)
-			issue = func(k int) {
-				if k >= 300 {
-					return
-				}
-				key := []byte(fmt.Sprintf("m%d-%d", c, k))
-				bed.Session(c).SendUpdate(pmnet.PutReq(key, make([]byte, 100)), func(r pmnet.Result) {
-					if r.Err == nil && k >= 30 {
-						h.Record(r.Latency)
-					}
-					issue(k + 1)
-				})
-			}
-			issue(0)
-		}
-		if noisy {
-			for c := 4; c < 104; c++ {
-				c := c
-				var read func(k int)
-				read = func(k int) {
-					if k >= 400 {
-						return
-					}
-					bed.Session(c).Bypass(pmnet.GetReq([]byte("noise")), func(pmnet.Result) {
-						read(k + 1)
-					})
-				}
-				read(0)
-			}
-		}
-		bed.Run()
-		return h
-	}
-	for _, noisy := range []bool{false, true} {
-		for _, d := range []pmnet.Design{pmnet.ClientServer, pmnet.PMNetSwitch} {
-			h := measure(d, noisy)
-			label := "idle"
-			if noisy {
-				label = "100 read clients"
-			}
-			t.AddRow(label, d.String(), us(h.Percentile(50)), us(h.Percentile(99)))
-			key := fmt.Sprintf("%s_%d", map[pmnet.Design]string{
-				pmnet.ClientServer: "base", pmnet.PMNetSwitch: "pmnet"}[d], boolToInt(noisy))
-			metrics["p99_us_"+key] = float64(h.Percentile(99)) / 1e3
-			metrics["p50_us_"+key] = float64(h.Percentile(50)) / 1e3
-		}
-	}
-	return Result{
-		ID:    "tail",
-		Table: t,
-		Notes: []string{
-			"Extension experiment (not a paper figure): server-CPU contention",
-			"inflates the baseline update tail; PMNet updates complete at the",
-			"device, off the contended path.",
-		},
-		Metrics: metrics,
-	}
-}
-
-func boolToInt(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// Fig20FullCDF emits the actual cumulative distributions Figure 20 plots
-// (50% updates, zipfian reads): one row per decile plus the deep tail, for
-// the three designs. Best consumed with `pmnetbench -run fig20cdf -format csv`.
-func Fig20FullCDF(seed uint64) Result {
-	t := stats.Table{
-		Title:   "Figure 20 (CDF): request latency distribution, 50% updates",
-		Columns: []string{"fraction", "Client-Server (us)", "PMNet (us)", "PMNet+cache (us)"},
-	}
-	hists := make([]*stats.Histogram, 3)
-	for i, d := range []struct {
-		des   pmnet.Design
-		cache int
-	}{
-		{pmnet.ClientServer, 0},
-		{pmnet.PMNetSwitch, 0},
-		{pmnet.PMNetSwitch, 4096},
-	} {
-		res := mustRun(RunConfig{
-			Design: d.des, Workload: WLHashmap, Clients: 4,
-			Requests: 600, Warmup: 60, UpdateRatio: 0.5, Zipfian: true,
-			CacheSize: d.cache, Keys: 1000, Seed: seed,
-		})
-		hists[i] = res.Run.Hist
-	}
-	fractions := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99, 99.9}
-	metrics := map[string]float64{}
-	for _, p := range fractions {
-		row := []string{fmt.Sprintf("%.1f%%", p)}
-		for _, h := range hists {
-			row = append(row, us(h.Percentile(p)))
-		}
-		t.AddRow(row...)
-		metrics[fmt.Sprintf("base_p%.1f", p)] = float64(hists[0].Percentile(p)) / 1e3
-		metrics[fmt.Sprintf("pmnet_p%.1f", p)] = float64(hists[1].Percentile(p)) / 1e3
-		metrics[fmt.Sprintf("cache_p%.1f", p)] = float64(hists[2].Percentile(p)) / 1e3
-	}
-	return Result{
-		ID:    "fig20cdf",
-		Table: t,
-		Notes: []string{
-			"The blue-line knee: PMNet-without-cache tracks the fast path up",
-			"to ~p50 then converges to the baseline; the green line (cache)",
-			"keeps the gap through the tail.",
-		},
-		Metrics: metrics,
-	}
-}
+// TailContention runs the server-contention extension (see tailRender).
+func TailContention(seed uint64) Result { return RunSpec(Specs["tail"], seed, 1) }

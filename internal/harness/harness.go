@@ -40,13 +40,23 @@ var AllWorkloads = []Workload{
 	WLBTree, WLCTree, WLRBTree, WLHashmap, WLSkiplist, WLRedis, WLTwitter, WLTPCC,
 }
 
+// UpdateRatioUnset is the sentinel for "no update ratio specified": Run
+// substitutes the paper's all-update default of 1.0. An explicit 0 requests
+// a read-only run.
+const UpdateRatioUnset = -1.0
+
 // RunConfig describes one experiment run.
 type RunConfig struct {
-	Design      pmnet.Design
-	Workload    Workload
-	Clients     int
-	Requests    int // completed requests per client (after warmup)
-	Warmup      int // discarded leading requests per client
+	Design   pmnet.Design
+	Workload Workload
+	Clients  int
+	Requests int // completed requests per client (after warmup)
+	Warmup   int // discarded leading requests per client
+	// UpdateRatio is the fraction of requests that are updates, in [0, 1].
+	// 0 is a real value — a read-only run. Negative means "unset" and is
+	// replaced by the paper's all-update default of 1.0 (UpdateRatioUnset).
+	// Earlier versions conflated 0 with unset and silently rewrote it to
+	// 1.0, making read-only runs impossible.
 	UpdateRatio float64
 	ValueSize   int
 	Zipfian     bool
@@ -76,7 +86,7 @@ func (c *RunConfig) defaults() {
 	if c.Keys <= 0 {
 		c.Keys = 2000
 	}
-	if c.UpdateRatio == 0 && c.Workload != WLIdeal {
+	if c.UpdateRatio < 0 {
 		c.UpdateRatio = 1.0
 	}
 }

@@ -1,0 +1,133 @@
+package harness
+
+// Parallel execution of experiment cells. The paper's evaluation is ~15
+// experiments whose largest member is a 64-cell sweep of independent
+// simulations; this runner executes the combined cell list of a whole batch
+// on a bounded worker pool and then renders each experiment sequentially, so
+// `pmnetbench -run all -parallel N` scales with cores while producing output
+// byte-identical to the sequential run (see parallel_test.go for the golden
+// guarantee and DESIGN.md for why parallelism cannot perturb determinism).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options controls batch execution.
+type Options struct {
+	Seed     uint64
+	Parallel int // worker-pool size; <= 0 means GOMAXPROCS
+}
+
+// ExperimentRun is one rendered experiment plus its execution accounting.
+type ExperimentRun struct {
+	Result
+	Cells []CellResult
+	// Wall sums the wall time of this experiment's cells — aggregate
+	// compute, not elapsed time (cells of different experiments interleave
+	// on the pool).
+	Wall time.Duration
+}
+
+// BatchResult is the outcome of RunExperiments.
+type BatchResult struct {
+	Seed        uint64
+	Parallel    int           // resolved worker count
+	Wall        time.Duration // real elapsed time of the whole batch
+	Experiments []ExperimentRun
+}
+
+// RunExperiments executes the named experiments: it enumerates every cell of
+// every experiment up front, executes the combined list on a bounded worker
+// pool, and renders each experiment in the order given. The rendered tables,
+// notes, and metrics are identical for every pool size.
+func RunExperiments(ids []string, opt Options) (*BatchResult, error) {
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	//pmnetlint:ignore wallclock real elapsed time is reported only, never simulated
+	start := time.Now()
+	type span struct {
+		spec   *Spec
+		lo, hi int
+	}
+	var flat []Cell
+	spans := make([]span, 0, len(ids))
+	for _, id := range ids {
+		s, ok := Specs[id]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown experiment %q", id)
+		}
+		cs := s.Enumerate(opt.Seed)
+		spans = append(spans, span{s, len(flat), len(flat) + len(cs)})
+		flat = append(flat, cs...)
+	}
+	results := runCells(flat, workers)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+	}
+	out := &BatchResult{Seed: opt.Seed, Parallel: workers}
+	for _, sp := range spans {
+		cells := results[sp.lo:sp.hi]
+		er := ExperimentRun{Result: sp.spec.Render(opt.Seed, cells), Cells: cells}
+		for _, c := range cells {
+			er.Wall += c.Wall
+		}
+		out.Experiments = append(out.Experiments, er)
+	}
+	//pmnetlint:ignore wallclock real elapsed time is reported only, never simulated
+	out.Wall = time.Since(start)
+	return out, nil
+}
+
+// runCells executes cells on up to workers goroutines, returning results in
+// input order. Completion order is irrelevant: each result lands in its own
+// slot, and no cell shares mutable state with another (each builds its own
+// testbed; package-level state is read-only calibration data).
+func runCells(cells []Cell, workers int) []CellResult {
+	out := make([]CellResult, len(cells))
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i := range cells {
+			out[i] = execCell(cells[i])
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = execCell(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// RunSpec executes one spec on a pool of the given size and renders it,
+// panicking on cell failure — the per-figure API (Fig2Breakdown, ...)
+// treats setup failure as fatal, like mustRun.
+func RunSpec(s *Spec, seed uint64, workers int) Result {
+	cells := runCells(s.Enumerate(seed), workers)
+	for _, c := range cells {
+		if c.Err != nil {
+			panic(c.Err)
+		}
+	}
+	return s.Render(seed, cells)
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"testing"
+
+	"pmnet"
+)
+
+// TestReadOnlyRun is the regression test for the UpdateRatio == 0 conflation:
+// an explicit 0 used to be silently rewritten to 1.0, making read-only runs
+// impossible. Now 0 is a real value and only the negative sentinel defaults.
+func TestReadOnlyRun(t *testing.T) {
+	res, err := Run(RunConfig{
+		Design: pmnet.PMNetSwitch, Workload: WLHashmap,
+		Clients: 2, Requests: 80, UpdateRatio: 0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Driver.Updates != 0 {
+		t.Fatalf("read-only run performed %d updates", res.Driver.Updates)
+	}
+	if res.Driver.Bypasses == 0 {
+		t.Fatal("read-only run performed no reads")
+	}
+	if res.Run.Requests == 0 {
+		t.Fatal("read-only run recorded no completed requests")
+	}
+}
+
+// TestUpdateRatioUnsetDefaults checks the sentinel: a negative ratio means
+// "unset" and falls back to the all-update default.
+func TestUpdateRatioUnsetDefaults(t *testing.T) {
+	res, err := Run(RunConfig{
+		Design: pmnet.PMNetSwitch, Workload: WLHashmap,
+		Clients: 2, Requests: 80, UpdateRatio: UpdateRatioUnset, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Driver.Updates == 0 {
+		t.Fatal("unset update ratio should default to all updates")
+	}
+	if res.Driver.Bypasses != 0 {
+		t.Fatalf("all-update run performed %d read bypasses", res.Driver.Bypasses)
+	}
+}

@@ -1,0 +1,442 @@
+package harness
+
+// Rendering for every experiment: the "fold results into the published
+// table" half of the former monolithic experiments.go. Renderers run
+// single-threaded, after all cells of their experiment have completed, and
+// read cells strictly in the order the matching enumerator (enumerate.go)
+// produced them — the invariant behind `-parallel N` output being
+// byte-identical to the sequential run.
+
+import (
+	"fmt"
+
+	"pmnet"
+	"pmnet/internal/netsim"
+	"pmnet/internal/sim"
+	"pmnet/internal/stats"
+)
+
+// fig2Render reproduces Figure 2: the latency breakdown of an update request
+// in the baseline Client-Server system, showing the server side (kernel
+// network stack + request processing) dominating at ≈70%.
+func fig2Render(seed uint64, cells []CellResult) Result {
+	total := float64(cells[0].Run.Hist.Mean())
+
+	// Component means from the calibrated models (two traversals each for
+	// the host stacks, measured handler cost via a probe run).
+	clientStack := 2 * float64(netsim.ClientKernelStack.Mean())
+	serverStack := 2 * float64(netsim.ServerKernelStack.Mean())
+	// Wire: client→tor→server and back: 4 link traversals + 2 switch hops.
+	wire := 4*float64(sim.Microsecond) + 2*float64(netsim.DefaultSwitchLatency) +
+		4*float64(146*8)/10e9*1e9 // serialization of a ~146B frame at 10G
+	processing := total - clientStack - serverStack - wire
+	if processing < 0 {
+		processing = 0
+	}
+
+	t := stats.Table{
+		Title:   "Figure 2: Latency breakdown of an update request (Client-Server baseline)",
+		Columns: []string{"component", "mean (us)", "share"},
+	}
+	pct := func(v float64) string { return fmt.Sprintf("%.0f%%", 100*v/total) }
+	t.AddRow("client network stack", fmt.Sprintf("%.2f", clientStack/1e3), pct(clientStack))
+	t.AddRow("network (wire+switch)", fmt.Sprintf("%.2f", wire/1e3), pct(wire))
+	t.AddRow("server network stack", fmt.Sprintf("%.2f", serverStack/1e3), pct(serverStack))
+	t.AddRow("server processing", fmt.Sprintf("%.2f", processing/1e3), pct(processing))
+	t.AddRow("total RTT", fmt.Sprintf("%.2f", total/1e3), "100%")
+	serverShare := (serverStack + processing) / total
+	return Result{
+		ID:    "fig2",
+		Table: t,
+		Notes: []string{fmt.Sprintf("server-side share = %.0f%% (paper: ~70%%)", serverShare*100)},
+		Metrics: map[string]float64{
+			"server_share": serverShare,
+			"total_us":     total / 1e3,
+		},
+	}
+}
+
+// fig15Render reproduces Figure 15: update RTT of the ideal request handler
+// as payload grows from 50 B to 1000 B, for the three designs. Paper:
+// 2.83×/2.90× speedup at 50 B, ≈2.19× at 1000 B.
+func fig15Render(seed uint64, cells []CellResult) Result {
+	t := stats.Table{
+		Title: "Figure 15: Update latency of an ideal request handler vs payload size",
+		Columns: []string{"payload (B)", "Client-Server (us)", "PMNet-Switch (us)",
+			"PMNet-NIC (us)", "switch speedup", "nic speedup"},
+	}
+	metrics := map[string]float64{}
+	for i, p := range fig15Payloads {
+		base := cells[3*i]
+		sw := cells[3*i+1]
+		nic := cells[3*i+2]
+		bm := float64(base.Run.Hist.Mean())
+		sm := float64(sw.Run.Hist.Mean())
+		nm := float64(nic.Run.Hist.Mean())
+		t.AddRow(fmt.Sprintf("%d", p), fmt.Sprintf("%.1f", bm/1e3),
+			fmt.Sprintf("%.1f", sm/1e3), fmt.Sprintf("%.1f", nm/1e3),
+			ratio(bm, sm), ratio(bm, nm))
+		metrics[fmt.Sprintf("speedup_switch_%d", p)] = bm / sm
+		metrics[fmt.Sprintf("speedup_nic_%d", p)] = bm / nm
+		metrics[fmt.Sprintf("switch_nic_gap_us_%d", p)] = (sm - nm) / 1e3
+	}
+	return Result{
+		ID:    "fig15",
+		Table: t,
+		Notes: []string{
+			"Paper: 2.83x (switch) / 2.90x (NIC) at 50B; ~2.19x at 1000B;",
+			"switch-vs-NIC gap under 1us.",
+		},
+		Metrics: metrics,
+	}
+}
+
+// fig16Render reproduces Figure 16: bandwidth vs latency as client count
+// scales, with the latency spike at the 10 Gbps line rate.
+func fig16Render(seed uint64, cells []CellResult) Result {
+	t := stats.Table{
+		Title: "Figure 16: Bandwidth vs latency under stress (1000B requests)",
+		Columns: []string{"clients", "design", "offered Gbps", "mean lat (us)",
+			"p99 lat (us)"},
+	}
+	metrics := map[string]float64{}
+	i := 0
+	for _, design := range []pmnet.Design{pmnet.ClientServer, pmnet.PMNetSwitch} {
+		for _, clients := range fig16Clients {
+			res := cells[i]
+			i++
+			// Offered load: completed requests × wire size / elapsed.
+			wire := float64(1000+netsim.UDPOverhead+16) * 8
+			gbps := res.Run.Throughput() * wire / 1e9
+			t.AddRow(fmt.Sprintf("%d", clients), design.String(),
+				fmt.Sprintf("%.2f", gbps),
+				us(res.Run.Hist.Mean()), us(res.Run.Hist.Percentile(99)))
+			key := fmt.Sprintf("%s_%d", designShort(design), clients)
+			metrics["gbps_"+key] = gbps
+			metrics["lat_us_"+key] = float64(res.Run.Hist.Mean()) / 1e3
+		}
+	}
+	return Result{
+		ID:    "fig16",
+		Table: t,
+		Notes: []string{
+			"Latency flat below saturation, spikes as offered load reaches the",
+			"10 Gbps line rate; PMNet latency below baseline throughout.",
+		},
+		Metrics: metrics,
+	}
+}
+
+// fig18Render reproduces Figure 18: PMNet vs client-side logging vs
+// server-side logging, with and without 3-way replication. The alternative
+// designs come from the sampled component models (the "altmodels" cell);
+// PMNet runs on the full simulation.
+func fig18Render(seed uint64, cells []CellResult) Result {
+	alt := cells[0].V.(fig18Alt)
+	pmnet1 := float64(cells[1].Run.Hist.Mean())
+	pmnet3 := float64(cells[2].Run.Hist.Mean())
+
+	t := stats.Table{
+		Title:   "Figure 18: PMNet vs alternative logging designs (mean update latency)",
+		Columns: []string{"design", "no repl (us)", "3-way repl (us)"},
+	}
+	t.AddRow("client-side logging", fmt.Sprintf("%.2f", alt.client/1e3), fmt.Sprintf("%.2f", alt.client3/1e3))
+	t.AddRow("PMNet", fmt.Sprintf("%.2f", pmnet1/1e3), fmt.Sprintf("%.2f", pmnet3/1e3))
+	t.AddRow("server-side logging", fmt.Sprintf("%.2f", alt.server/1e3), fmt.Sprintf("%.2f", alt.server3/1e3))
+	return Result{
+		ID:    "fig18",
+		Table: t,
+		Notes: []string{
+			"Paper: 10.4 / 21.5 / 47.97 us without repl; 41.61 / 22.8 / 94.02 with.",
+			"Shape: client-side fastest unreplicated, PMNet near-flat under",
+			"replication, server-side worst throughout.",
+		},
+		Metrics: map[string]float64{
+			"client_us": alt.client / 1e3, "client3_us": alt.client3 / 1e3,
+			"pmnet_us": pmnet1 / 1e3, "pmnet3_us": pmnet3 / 1e3,
+			"server_us": alt.server / 1e3, "server3_us": alt.server3 / 1e3,
+		},
+	}
+}
+
+// fig19Render reproduces Figure 19: per-workload throughput of PMNet
+// normalized to the Client-Server baseline as the update ratio falls from
+// 100% to 25%. Paper: 4.31× average at 100% updates, shrinking with more
+// reads.
+func fig19Render(seed uint64, cells []CellResult) Result {
+	t := stats.Table{
+		Title:   "Figure 19: Throughput normalized to Client-Server vs update ratio",
+		Columns: []string{"workload", "100%", "75%", "50%", "25%"},
+	}
+	metrics := map[string]float64{}
+	sums := make([]float64, len(fig19Ratios))
+	i := 0
+	for _, wl := range AllWorkloads {
+		row := []string{string(wl)}
+		for ri, ratio := range fig19Ratios {
+			base := cells[i]
+			pm := cells[i+1]
+			i += 2
+			speedup := pm.Run.Throughput() / base.Run.Throughput()
+			row = append(row, fmt.Sprintf("%.2fx", speedup))
+			metrics[fmt.Sprintf("%s_%d", wl, int(ratio*100))] = speedup
+			sums[ri] += speedup
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"average"}
+	for ri := range fig19Ratios {
+		mean := sums[ri] / float64(len(AllWorkloads))
+		avg = append(avg, fmt.Sprintf("%.2fx", mean))
+		metrics[fmt.Sprintf("avg_%d", int(fig19Ratios[ri]*100))] = mean
+	}
+	t.AddRow(avg...)
+	return Result{
+		ID:    "fig19",
+		Table: t,
+		Notes: []string{
+			"Paper: 4.31x average at 100% updates; benefit shrinks as the read",
+			"share grows (reads bypass PMNet without caching).",
+		},
+		Metrics: metrics,
+	}
+}
+
+// fig20Render reproduces Figure 20: request-latency percentiles at 100% and
+// 50% updates for Client-Server, PMNet, and PMNet+cache. Paper: 3.36×
+// average with caching, 3.23× better 99th percentile at 100% updates, and
+// the characteristic 50th-percentile knee for PMNet-without-cache at 50%.
+func fig20Render(seed uint64, cells []CellResult) Result {
+	t := stats.Table{
+		Title: "Figure 20: Request latency distribution (KV workloads, zipfian reads)",
+		Columns: []string{"updates", "design", "mean (us)", "p50 (us)",
+			"p90 (us)", "p99 (us)"},
+	}
+	metrics := map[string]float64{}
+	i := 0
+	for _, ur := range fig20Ratios {
+		for _, d := range fig20Variants {
+			h := cells[i].Run.Hist
+			i++
+			t.AddRow(fmt.Sprintf("%.0f%%", ur*100), d.name, us(h.Mean()),
+				us(h.Percentile(50)), us(h.Percentile(90)), us(h.Percentile(99)))
+			key := fmt.Sprintf("%s_%d", d.name, int(ur*100))
+			metrics["mean_us_"+key] = float64(h.Mean()) / 1e3
+			metrics["p99_us_"+key] = float64(h.Percentile(99)) / 1e3
+			metrics["p90_us_"+key] = float64(h.Percentile(90)) / 1e3
+			metrics["p50_us_"+key] = float64(h.Percentile(50)) / 1e3
+		}
+	}
+	return Result{
+		ID:    "fig20",
+		Table: t,
+		Notes: []string{
+			"Paper: with 50% updates PMNet-no-cache has a knee at p50 (reads",
+			"unoptimized); PMNet+cache keeps the benefit into the tail.",
+			"3.36x average, 3.23x p99 at 100% updates.",
+		},
+		Metrics: metrics,
+	}
+}
+
+// fig20cdfRender emits the actual cumulative distributions Figure 20 plots
+// (50% updates, zipfian reads): one row per decile plus the deep tail, for
+// the three designs. Best consumed with `pmnetbench -run fig20cdf -format csv`.
+func fig20cdfRender(seed uint64, cells []CellResult) Result {
+	t := stats.Table{
+		Title:   "Figure 20 (CDF): request latency distribution, 50% updates",
+		Columns: []string{"fraction", "Client-Server (us)", "PMNet (us)", "PMNet+cache (us)"},
+	}
+	hists := make([]*stats.Histogram, 3)
+	for i := range hists {
+		hists[i] = cells[i].Run.Hist
+	}
+	fractions := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99, 99.9}
+	metrics := map[string]float64{}
+	for _, p := range fractions {
+		row := []string{fmt.Sprintf("%.1f%%", p)}
+		for _, h := range hists {
+			row = append(row, us(h.Percentile(p)))
+		}
+		t.AddRow(row...)
+		metrics[fmt.Sprintf("base_p%.1f", p)] = float64(hists[0].Percentile(p)) / 1e3
+		metrics[fmt.Sprintf("pmnet_p%.1f", p)] = float64(hists[1].Percentile(p)) / 1e3
+		metrics[fmt.Sprintf("cache_p%.1f", p)] = float64(hists[2].Percentile(p)) / 1e3
+	}
+	return Result{
+		ID:    "fig20cdf",
+		Table: t,
+		Notes: []string{
+			"The blue-line knee: PMNet-without-cache tracks the fast path up",
+			"to ~p50 then converges to the baseline; the green line (cache)",
+			"keeps the gap through the tail.",
+		},
+		Metrics: metrics,
+	}
+}
+
+// fig21Render reproduces Figure 21: update latency in a 3-way replication
+// system, normalized to the no-replication Client-Server design. Paper:
+// PMNet replication 5.88× better than server-side replication; 16% overhead
+// over single-PMNet logging.
+func fig21Render(seed uint64, cells []CellResult) Result {
+	baseMean := float64(cells[0].Run.Hist.Mean())
+	pm1Mean := float64(cells[1].Run.Hist.Mean())
+	pm3Mean := float64(cells[2].Run.Hist.Mean())
+	serverRepl := baseMean + cells[3].V.(float64)
+
+	t := stats.Table{
+		Title:   "Figure 21: Update latency with 3-way replication (normalized to no-repl Client-Server)",
+		Columns: []string{"design", "latency (us)", "normalized"},
+	}
+	norm := func(v float64) string { return fmt.Sprintf("%.2f", v/baseMean) }
+	t.AddRow("Client-Server (no repl)", fmt.Sprintf("%.2f", baseMean/1e3), "1.00")
+	t.AddRow("Server-side 3-way repl", fmt.Sprintf("%.2f", serverRepl/1e3), norm(serverRepl))
+	t.AddRow("PMNet (single log)", fmt.Sprintf("%.2f", pm1Mean/1e3), norm(pm1Mean))
+	t.AddRow("PMNet 3-way repl", fmt.Sprintf("%.2f", pm3Mean/1e3), norm(pm3Mean))
+	return Result{
+		ID:    "fig21",
+		Table: t,
+		Notes: []string{
+			fmt.Sprintf("PMNet-repl vs server-repl: %.2fx (paper: 5.88x);", serverRepl/pm3Mean),
+			fmt.Sprintf("replication overhead over single PMNet: %.0f%% (paper: 16%%).",
+				100*(pm3Mean/pm1Mean-1)),
+		},
+		Metrics: map[string]float64{
+			"pmnet_vs_server_repl": serverRepl / pm3Mean,
+			"repl_overhead":        pm3Mean/pm1Mean - 1,
+		},
+	}
+}
+
+// fig22Render reproduces Figure 22: update throughput with the default
+// kernel stacks vs libVMA-style bypass stacks. Paper: PMNet wins 3.08× on
+// the kernel stack and still 3.56× with bypass stacks.
+func fig22Render(seed uint64, cells []CellResult) Result {
+	t := stats.Table{
+		Title:   "Figure 22: Update throughput with an optimized (kernel-bypass) network stack",
+		Columns: []string{"design", "throughput (req/s)", "vs baseline"},
+	}
+	metrics := map[string]float64{}
+	var baseKernel float64
+	tp := make([]float64, len(fig22Variants))
+	for i, row := range fig22Variants {
+		tp[i] = cells[i].Run.Throughput()
+		if i == 0 {
+			baseKernel = tp[i]
+		}
+		t.AddRow(row.name, fmt.Sprintf("%.0f", tp[i]), fmt.Sprintf("%.2fx", tp[i]/baseKernel))
+	}
+	metrics["kernel_speedup"] = tp[1] / tp[0]
+	metrics["bypass_speedup"] = tp[3] / tp[2]
+	return Result{
+		ID:    "fig22",
+		Table: t,
+		Notes: []string{
+			fmt.Sprintf("PMNet speedup: %.2fx on kernel stacks (paper 3.08x), %.2fx with bypass (paper 3.56x).",
+				metrics["kernel_speedup"], metrics["bypass_speedup"]),
+		},
+		Metrics: metrics,
+	}
+}
+
+// recoveryRender reproduces §VI-B6: crash the server with the PMNet log full
+// of unacknowledged updates, restore power, and measure the replay. Paper:
+// 67 µs per resent request; full recovery seconds, well under the 2–3 minute
+// server boot.
+func recoveryRender(seed uint64, cells []CellResult) Result {
+	v := cells[0].V.(recoveryOut)
+	t := stats.Table{
+		Title:   "Recovery from server failure (§VI-B6)",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("log entries at crash", fmt.Sprintf("%d", v.logged))
+	t.AddRow("requests replayed", fmt.Sprintf("%d", v.resends))
+	t.AddRow("per-request resend", fmt.Sprintf("%.1f us", v.perReq.Micros()))
+	t.AddRow("total recovery", fmt.Sprintf("%.2f ms", float64(v.total)/1e6))
+	t.AddRow("log drained", fmt.Sprintf("%v", v.drained))
+	return Result{
+		ID:    "recovery",
+		Table: t,
+		Notes: []string{"Paper: 67 us per resent request; total recovery a small fraction of the 2-3 min boot."},
+		Metrics: map[string]float64{
+			"per_request_us": v.perReq.Micros(),
+			"replayed":       float64(v.resends),
+			"drained":        boolTo01(v.drained),
+		},
+	}
+}
+
+// tpcclockRender reproduces the §III-C statistic: the fraction of TPCC
+// requests that access the locking primitive (paper: 13.7%).
+func tpcclockRender(seed uint64, cells []CellResult) Result {
+	d := cells[0].Driver
+	total := d.Updates + d.Bypasses
+	frac := float64(d.LockOps) / float64(total)
+	t := stats.Table{
+		Title:   "TPCC locking primitive usage (§III-C)",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("total requests", fmt.Sprintf("%d", total))
+	t.AddRow("lock requests", fmt.Sprintf("%d", d.LockOps))
+	t.AddRow("lock fraction", fmt.Sprintf("%.1f%%", frac*100))
+	t.AddRow("lock retries", fmt.Sprintf("%d", d.LockRetries))
+	return Result{
+		ID:    "tpcclock",
+		Table: t,
+		Notes: []string{"Paper: 13.7% of TPCC requests access the locking primitive."},
+		Metrics: map[string]float64{
+			"lock_fraction": frac,
+		},
+	}
+}
+
+// tailRender is an extension beyond the paper's figures: it quantifies the
+// §I claim that the server is a shared, contended resource whose queueing
+// drives tail latency — and that PMNet hides it.
+func tailRender(seed uint64, cells []CellResult) Result {
+	t := stats.Table{
+		Title:   "Extension: update tail latency under server contention",
+		Columns: []string{"background", "design", "p50 (us)", "p99 (us)"},
+	}
+	metrics := map[string]float64{}
+	i := 0
+	for _, noisy := range []bool{false, true} {
+		for _, d := range []pmnet.Design{pmnet.ClientServer, pmnet.PMNetSwitch} {
+			h := cells[i].V.(*stats.Histogram)
+			i++
+			label := "idle"
+			if noisy {
+				label = "100 read clients"
+			}
+			t.AddRow(label, d.String(), us(h.Percentile(50)), us(h.Percentile(99)))
+			key := fmt.Sprintf("%s_%d", designShort(d), boolToInt(noisy))
+			metrics["p99_us_"+key] = float64(h.Percentile(99)) / 1e3
+			metrics["p50_us_"+key] = float64(h.Percentile(50)) / 1e3
+		}
+	}
+	return Result{
+		ID:    "tail",
+		Table: t,
+		Notes: []string{
+			"Extension experiment (not a paper figure): server-CPU contention",
+			"inflates the baseline update tail; PMNet updates complete at the",
+			"device, off the contended path.",
+		},
+		Metrics: metrics,
+	}
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

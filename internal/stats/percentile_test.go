@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"pmnet/internal/sim"
+)
+
+// TestZeroValueHistogram is the regression test for the broken zero value:
+// min used to start at 0 instead of being lazily initialized, so a
+// Histogram{} (as opposed to NewHistogram()) clamped Percentile and Min to 0
+// forever.
+func TestZeroValueHistogram(t *testing.T) {
+	var h Histogram
+	h.Record(5 * sim.Microsecond)
+	h.Record(10 * sim.Microsecond)
+	if h.Min() != 5*sim.Microsecond {
+		t.Fatalf("zero-value min = %v, want 5µs", h.Min())
+	}
+	if h.Max() != 10*sim.Microsecond {
+		t.Fatalf("zero-value max = %v, want 10µs", h.Max())
+	}
+	if p := h.Percentile(1); p < 5*sim.Microsecond {
+		t.Fatalf("p1 = %v clamped below the observed minimum", p)
+	}
+}
+
+// TestZeroValueMerge checks Merge into and from zero-value histograms.
+func TestZeroValueMerge(t *testing.T) {
+	var a, b Histogram
+	b.Record(7 * sim.Microsecond)
+	b.Record(9 * sim.Microsecond)
+	a.Merge(&b)
+	if a.Min() != 7*sim.Microsecond || a.Max() != 9*sim.Microsecond {
+		t.Fatalf("merge into zero value: min/max %v/%v", a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty) // merging an empty histogram must not disturb extremes
+	if a.Min() != 7*sim.Microsecond || a.Count() != 2 {
+		t.Fatalf("merge of empty histogram disturbed state: min %v count %d", a.Min(), a.Count())
+	}
+}
+
+// TestPercentileAgainstExact is the property test: over randomized (seeded
+// sim.Rand) inputs from several distributions, Histogram.Percentile must stay
+// within the documented ~3% relative-error bound of the exact sorted-sample
+// percentile, and clamp to min/max as p→0 and p→100.
+func TestPercentileAgainstExact(t *testing.T) {
+	r := sim.NewRand(42)
+	dists := []struct {
+		name string
+		gen  func() sim.Time
+	}{
+		{"uniform", func() sim.Time { return sim.Time(r.Intn(1_000_000) + 1) }},
+		{"exp", func() sim.Time { return sim.Time(r.Exp(50_000)) + 1 }},
+		{"lognormal", func() sim.Time { return sim.Time(r.LogNormal(10, 1)) + 1 }},
+		{"small", func() sim.Time { return sim.Time(r.Intn(48)) }},
+	}
+	percentiles := []float64{0.1, 1, 5, 25, 50, 75, 90, 99, 99.9, 100}
+	for _, d := range dists {
+		for _, n := range []int{1, 10, 997, 20000} {
+			var h Histogram
+			samples := make([]sim.Time, n)
+			for i := range samples {
+				samples[i] = d.gen()
+				h.Record(samples[i])
+			}
+			sorted := Sorted(samples)
+			for _, p := range percentiles {
+				// The histogram resolves percentile p to the bucket holding
+				// the ceil(p/100*n)-th sample; compare against that sample.
+				rank := int(math.Ceil(p / 100 * float64(n)))
+				if rank < 1 {
+					rank = 1
+				}
+				if rank > n {
+					rank = n
+				}
+				exact := float64(sorted[rank-1])
+				got := float64(h.Percentile(p))
+				tol := 0.035 * exact
+				if tol < 1 {
+					tol = 1 // sub-32 buckets are exact; allow integer rounding
+				}
+				if math.Abs(got-exact) > tol {
+					t.Fatalf("%s n=%d p=%v: got %v exact %v (err %.2f%%)",
+						d.name, n, p, got, exact, 100*math.Abs(got-exact)/exact)
+				}
+			}
+			// Clamping at the extremes: p≤0 pins to the observed minimum,
+			// p≥100 to the observed maximum.
+			if h.Percentile(0) != h.Min() || h.Percentile(-5) != h.Min() {
+				t.Fatalf("%s n=%d: p→0 not clamped to min", d.name, n)
+			}
+			if h.Percentile(100) != h.Max() || h.Percentile(150) != h.Max() {
+				t.Fatalf("%s n=%d: p→100 not clamped to max", d.name, n)
+			}
+		}
+	}
+}

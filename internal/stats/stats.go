@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"pmnet/internal/sim"
@@ -14,17 +15,18 @@ import (
 // Histogram records durations in logarithmic buckets: 64 major buckets (one
 // per power of two) with 32 minor linear sub-buckets each, giving ≤ ~3%
 // relative error across the full range — plenty for tail-latency reporting.
+// The zero value is an empty histogram ready for use.
 type Histogram struct {
 	counts [64 * 32]uint64
 	total  uint64
 	sum    float64
-	min    sim.Time
-	max    sim.Time
+	min    sim.Time // valid only when total > 0
+	max    sim.Time // valid only when total > 0
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram. Equivalent to new(Histogram).
 func NewHistogram() *Histogram {
-	return &Histogram{min: math.MaxInt64}
+	return &Histogram{}
 }
 
 func bucketIndex(v sim.Time) int {
@@ -33,7 +35,7 @@ func bucketIndex(v sim.Time) int {
 	}
 	major := 0
 	if v > 0 {
-		major = 63 - leadingZeros(uint64(v))
+		major = 63 - bits.LeadingZeros64(uint64(v))
 	}
 	if major >= 64 {
 		major = 63
@@ -45,17 +47,6 @@ func bucketIndex(v sim.Time) int {
 		minor = int(uint64(v) & 31)
 	}
 	return major*32 + minor
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if x&(1<<uint(i)) != 0 {
-			return n
-		}
-		n++
-	}
-	return 64
 }
 
 // bucketMid returns a representative value for a bucket.
@@ -73,14 +64,14 @@ func bucketMid(idx int) sim.Time {
 // Record adds one sample.
 func (h *Histogram) Record(v sim.Time) {
 	h.counts[bucketIndex(v)]++
-	h.total++
-	h.sum += float64(v)
-	if v < h.min {
+	if h.total == 0 || v < h.min {
 		h.min = v
 	}
-	if v > h.max {
+	if h.total == 0 || v > h.max {
 		h.max = v
 	}
+	h.total++
+	h.sum += float64(v)
 }
 
 // Count returns the number of samples.
@@ -161,19 +152,20 @@ func (h *Histogram) CDF() []CDFPoint {
 
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
 	for i, c := range other.counts {
 		h.counts[i] += c
 	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.total == 0 || other.max > h.max {
+		h.max = other.max
+	}
 	h.total += other.total
 	h.sum += other.sum
-	if other.total > 0 {
-		if other.min < h.min {
-			h.min = other.min
-		}
-		if other.max > h.max {
-			h.max = other.max
-		}
-	}
 }
 
 func (h *Histogram) String() string {

@@ -68,6 +68,17 @@ type Config struct {
 }
 
 // Testbed is a built cluster ready to run on its virtual clock.
+//
+// Concurrency contract: a Testbed is single-threaded — one goroutine builds
+// it, drives it, and reads its results — but distinct Testbeds are fully
+// independent and may run concurrently (internal/harness executes experiment
+// cells on a worker pool). Every piece of mutable state (event engine,
+// virtual clock, PRNG streams, arenas, queues) is allocated per testbed in
+// NewTestbed; the only package-level state any of it touches (engine
+// factories, calibrated latency models, error sentinels) is written once at
+// init and read-only afterwards. Nothing here reads wall-clock time, so
+// scheduling order across testbeds cannot leak into results: a run's output
+// is a pure function of its Config (and so of the seed baked into it).
 type Testbed struct {
 	Engine   *sim.Engine
 	Network  *netsim.Network
