@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci bench bench-json
+.PHONY: all build test race vet lint ci bench bench-json microbench
 
 all: build test
 
@@ -22,6 +22,13 @@ lint:
 
 # Everything CI runs, in the same order.
 ci: build test race vet lint
+
+# Hot-path micro-benchmarks (allocs/op must stay 0; see the pins in the
+# matching alloc_test.go files). Override BENCHTIME=1x for a CI smoke run.
+BENCHTIME ?= 1s
+microbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule|BenchmarkTransmit|BenchmarkPersistAll' \
+		-benchtime $(BENCHTIME) -benchmem ./internal/sim ./internal/netsim ./internal/pmem
 
 # Full experiment suite, cells on a GOMAXPROCS-sized worker pool.
 bench:

@@ -29,7 +29,18 @@ type jsonDoc struct {
 	Seed        uint64           `json:"seed"`
 	Parallel    int              `json:"parallel"`
 	WallMs      float64          `json:"wall_ms"`
+	Perf        jsonPerf         `json:"perf"`
 	Experiments []jsonExperiment `json:"experiments"`
+}
+
+// jsonPerf is the batch-level perf trajectory (BENCH artifacts). Events is
+// deterministic per seed; the rates and allocation counts are wall-clock-class
+// fields that vary run to run.
+type jsonPerf struct {
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
 type jsonExperiment struct {
@@ -47,6 +58,7 @@ type jsonCell struct {
 	Key       string  `json:"key"`
 	WallMs    float64 `json:"wall_ms"`
 	VirtualUs float64 `json:"virtual_us"`
+	Events    uint64  `json:"events,omitempty"`
 	Requests  uint64  `json:"requests,omitempty"`
 	MeanUs    float64 `json:"mean_us,omitempty"`
 	P50Us     float64 `json:"p50_us,omitempty"`
@@ -59,6 +71,12 @@ func toJSON(b *harness.BatchResult) jsonDoc {
 		Seed:     b.Seed,
 		Parallel: b.Parallel,
 		WallMs:   float64(b.Wall.Microseconds()) / 1e3,
+		Perf: jsonPerf{
+			Events:         b.Perf.Events,
+			EventsPerSec:   b.Perf.EventsPerSec,
+			Allocs:         b.Perf.Allocs,
+			AllocsPerEvent: b.Perf.AllocsPerEvent,
+		},
 	}
 	for _, er := range b.Experiments {
 		je := jsonExperiment{
@@ -78,6 +96,7 @@ func toJSON(b *harness.BatchResult) jsonDoc {
 				Key:       c.Key,
 				WallMs:    float64(c.Wall.Microseconds()) / 1e3,
 				VirtualUs: c.VirtualEnd.Micros(),
+				Events:    c.Events,
 			}
 			if c.Run != nil && c.Run.Requests > 0 {
 				jc.Requests = c.Run.Requests

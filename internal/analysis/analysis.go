@@ -76,6 +76,7 @@ var Analyzers = []*Analyzer{
 	RandsourceAnalyzer,
 	MaprangeAnalyzer,
 	PersistcoverAnalyzer,
+	SyncpoolAnalyzer,
 }
 
 func byName(name string) *Analyzer {

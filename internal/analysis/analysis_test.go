@@ -89,6 +89,7 @@ func TestWallclockFixture(t *testing.T)    { checkFixture(t, WallclockAnalyzer, 
 func TestRandsourceFixture(t *testing.T)   { checkFixture(t, RandsourceAnalyzer, "randsource") }
 func TestMaprangeFixture(t *testing.T)     { checkFixture(t, MaprangeAnalyzer, "maprange") }
 func TestPersistcoverFixture(t *testing.T) { checkFixture(t, PersistcoverAnalyzer, "persistcover") }
+func TestSyncpoolFixture(t *testing.T)     { checkFixture(t, SyncpoolAnalyzer, "syncpool") }
 
 // TestDirectiveValidation: a malformed or unknown-analyzer directive is
 // itself a finding and does not suppress the finding beneath it.
@@ -148,6 +149,11 @@ func TestScopes(t *testing.T) {
 		{MaprangeAnalyzer, "pmnet/internal/kv", false},
 		{PersistcoverAnalyzer, "pmnet/internal/pmobj", true},
 		{PersistcoverAnalyzer, "pmnet/internal/analysis", false},
+		{SyncpoolAnalyzer, "pmnet/internal/sim", true},
+		{SyncpoolAnalyzer, "pmnet/internal/netsim", true},
+		{SyncpoolAnalyzer, "pmnet/internal/harness", true},
+		{SyncpoolAnalyzer, "pmnet/internal/analysis", false},
+		{SyncpoolAnalyzer, "pmnet/cmd/pmnetbench", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(mod, c.pkg); got != c.want {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -119,7 +120,14 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if excludedByBuildTags(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
 		}
@@ -142,6 +150,26 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	pkg := &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// excludedByBuildTags reports whether a //go:build constraint above the
+// package clause excludes the file from the default build. The analyzers
+// audit the tagless build — every tag evaluates false — which keeps exactly
+// one variant of tag-paired files (e.g. internal/raceflag's race/!race pair)
+// in the type-checked package.
+func excludedByBuildTags(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if expr, err := constraint.Parse(line); err == nil {
+				return !expr.Eval(func(string) bool { return false })
+			}
+			continue
+		}
+		// package clause (or /* block */): constraints must precede it.
+		break
+	}
+	return false
 }
 
 // PackageDir pairs a directory with its module import path.

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncpoolAnalyzer forbids sync.Pool in model code. The hot paths recycle
+// objects through per-owner free lists (per-engine nodes, per-network
+// packets, per-host crossings...), which are deterministic because exactly
+// one component pushes and pops them on the single-threaded virtual clock.
+// A sync.Pool hands objects to whichever goroutine asks first — and clears
+// itself on GC — so object identity (and any state that leaks through an
+// incompletely reset object) would depend on host scheduling and memory
+// pressure, silently breaking bit-reproducibility.
+var SyncpoolAnalyzer = &Analyzer{
+	Name:  "syncpool",
+	Doc:   "forbid sync.Pool in model code; recycle through per-owner free lists",
+	Scope: modelCode,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "sync" {
+					return true
+				}
+				if sel.Sel.Name == "Pool" {
+					pass.Reportf(sel.Pos(),
+						"sync.Pool is forbidden in model code (GC-cleared, cross-goroutine object reuse breaks determinism); use a per-owner free list")
+				}
+				return true
+			})
+		}
+	},
+}

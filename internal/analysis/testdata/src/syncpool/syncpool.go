@@ -1,0 +1,62 @@
+// Package fixture exercises the syncpool analyzer: model code recycles hot
+// objects through per-owner free lists, never sync.Pool, whose GC-driven and
+// cross-goroutine reuse couples object identity to host scheduling.
+package fixture
+
+import "sync"
+
+// badVar: declaring a pool is already a violation — it will be used.
+var badVar sync.Pool // want "sync.Pool is forbidden"
+
+type node struct{ next *node }
+
+// badField: embedding a pool inside a model structure.
+type badEngine struct {
+	pool sync.Pool // want "sync.Pool is forbidden"
+}
+
+func badLiteral() *node {
+	p := &sync.Pool{New: func() any { return new(node) }} // want "sync.Pool is forbidden"
+	return p.Get().(*node)
+}
+
+func badParam(p *sync.Pool) { // want "sync.Pool is forbidden"
+	p.Put(new(node))
+}
+
+// okFreeList is the sanctioned shape: a slice-backed free list owned by one
+// component, pushed and popped only on the virtual-clock goroutine.
+type okFreeList struct {
+	free []*node
+}
+
+func (l *okFreeList) get() *node {
+	if k := len(l.free) - 1; k >= 0 {
+		n := l.free[k]
+		l.free = l.free[:k]
+		return n
+	}
+	return new(node)
+}
+
+func (l *okFreeList) put(n *node) { l.free = append(l.free, n) }
+
+// okOtherSync: the rest of package sync stays legal — the parallel cell
+// runner coordinates workers with WaitGroup and Mutex.
+func okOtherSync() {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		mu.Lock()
+		mu.Unlock()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func okIgnored() any {
+	//pmnetlint:ignore syncpool fixture: demonstrating a suppressed finding
+	var p sync.Pool
+	return p.Get()
+}

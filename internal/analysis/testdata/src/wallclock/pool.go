@@ -1,0 +1,76 @@
+package fixture
+
+// pool.go exercises the wallclock analyzer inside the pooled hot-path shapes
+// the event engine and packet path use: free-list getters, pre-bound
+// callbacks, and recycle methods. A wall-clock read smuggled into any of
+// these runs on every event, so the analyzer must see through the nesting.
+
+import "time"
+
+type poolNode struct {
+	at  int64
+	fn  func()
+	gen uint64
+}
+
+type poolEngine struct {
+	heap []*poolNode
+	free []*poolNode
+}
+
+// get pops a recycled node; the allocation branch must not stamp wall time.
+func (e *poolEngine) get() *poolNode {
+	if k := len(e.free) - 1; k >= 0 {
+		n := e.free[k]
+		e.free = e.free[:k]
+		return n
+	}
+	return &poolNode{at: time.Now().UnixNano()} // want "time.Now is forbidden"
+}
+
+// schedule binds the callback once at allocation — the pre-bound-closure
+// pattern. The analyzer must descend into the function literal.
+func (e *poolEngine) schedule() {
+	n := e.get()
+	n.fn = func() {
+		start := time.Now()   // want "time.Now is forbidden"
+		_ = time.Since(start) // want "time.Since is forbidden"
+	}
+	e.heap = append(e.heap, n)
+}
+
+// release recycles a node; pacing the free list off the host clock would tie
+// pool occupancy (and thus object identity) to machine speed.
+func (e *poolEngine) release(n *poolNode) {
+	n.gen++
+	n.fn = nil
+	time.Sleep(time.Microsecond) // want "time.Sleep is forbidden"
+	e.free = append(e.free, n)
+}
+
+// drain is an event loop over the pooled heap; deadline checks must come
+// from the virtual clock, not a host timer.
+func (e *poolEngine) drain() {
+	deadline := time.After(time.Second) // want "time.After is forbidden"
+	for len(e.heap) > 0 {
+		select {
+		case <-deadline:
+			return
+		default:
+		}
+		n := e.heap[len(e.heap)-1]
+		e.heap = e.heap[:len(e.heap)-1]
+		if n.fn != nil {
+			n.fn()
+		}
+		e.release(n)
+	}
+}
+
+// okPooledVirtual is the sanctioned shape: timestamps are plain integers fed
+// in by the caller (the virtual clock), durations only formatted for display.
+func (e *poolEngine) okPooledVirtual(nowVirtual int64) time.Duration {
+	n := e.get()
+	n.at = nowVirtual
+	return time.Duration(n.at) * time.Nanosecond
+}

@@ -69,15 +69,19 @@ type fragState struct {
 	done      bool
 }
 
+// pending records are pooled per session (see getPending/putPending); timerFn
+// is bound once at allocation so re-arming the retransmission timer allocates
+// no closure.
 type pending struct {
 	firstSeq  uint32
-	frags     []*fragState
+	frags     []fragState
 	isUpdate  bool
 	issued    sim.Time
 	retries   int
 	done      bool
 	callback  func(Result)
-	timer     *sim.Event
+	timer     sim.Event
+	timerFn   func()
 	response  *protocol.Response
 	fromCache bool
 }
@@ -102,8 +106,28 @@ type Session struct {
 	// outstanding requests keyed by first fragment seq; fragment seq → owner.
 	requests map[uint32]*pending
 	bySeq    map[uint32]*pending
+	freeP    []*pending // recycled request records
 	stats    Stats
 	closed   bool
+}
+
+func (s *Session) getPending() *pending {
+	if k := len(s.freeP) - 1; k >= 0 {
+		p := s.freeP[k]
+		s.freeP = s.freeP[:k]
+		return p
+	}
+	p := &pending{}
+	p.timerFn = func() { s.onTimeout(p) }
+	return p
+}
+
+// putPending recycles a finished record, keeping its fragment slice capacity
+// and bound timer callback.
+func (s *Session) putPending(p *pending) {
+	frags := p.frags[:0]
+	*p = pending{frags: frags, timerFn: p.timerFn}
+	s.freeP = append(s.freeP, p)
 }
 
 // New opens a session on host. The session registers itself as the host's
@@ -200,15 +224,13 @@ func (s *Session) issue(typ protocol.Type, payload []byte, isUpdate bool, done f
 	} else {
 		s.nextBypSeq += uint32(len(msgs))
 	}
-	p := &pending{
-		firstSeq: first,
-		frags:    make([]*fragState, len(msgs)),
-		isUpdate: isUpdate,
-		issued:   s.eng.Now(),
-		callback: done,
-	}
-	for i, m := range msgs {
-		p.frags[i] = &fragState{msg: m}
+	p := s.getPending()
+	p.firstSeq = first
+	p.isUpdate = isUpdate
+	p.issued = s.eng.Now()
+	p.callback = done
+	for _, m := range msgs {
+		p.frags = append(p.frags, fragState{msg: m})
 		s.bySeq[m.Hdr.SeqNum] = p
 	}
 	s.requests[first] = p
@@ -217,22 +239,28 @@ func (s *Session) issue(typ protocol.Type, payload []byte, isUpdate bool, done f
 }
 
 func (s *Session) transmit(p *pending, onlyIncomplete bool) {
-	for _, f := range p.frags {
+	for i := range p.frags {
+		f := &p.frags[i]
 		if onlyIncomplete && f.done {
 			continue
 		}
-		s.host.Send(&netsim.Packet{
-			To:      s.cfg.Server,
-			SrcPort: s.cfg.SrcPort,
-			DstPort: s.cfg.DstPort,
-			PMNet:   true,
-			Msg:     f.msg,
-		})
+		s.sendFrag(f.msg)
 	}
 }
 
+// sendFrag transmits one fragment to the server on a pooled packet.
+func (s *Session) sendFrag(msg protocol.Message) {
+	pkt := s.host.Network().AllocPacket()
+	pkt.To = s.cfg.Server
+	pkt.SrcPort = s.cfg.SrcPort
+	pkt.DstPort = s.cfg.DstPort
+	pkt.PMNet = true
+	pkt.Msg = msg
+	s.host.Send(pkt)
+}
+
 func (s *Session) armTimer(p *pending) {
-	p.timer = s.eng.After(s.cfg.Timeout, func() { s.onTimeout(p) })
+	p.timer = s.eng.After(s.cfg.Timeout, p.timerFn)
 }
 
 func (s *Session) onTimeout(p *pending) {
@@ -255,12 +283,10 @@ func (s *Session) finish(p *pending, res Result) {
 		return
 	}
 	p.done = true
-	if p.timer != nil {
-		p.timer.Cancel()
-	}
+	p.timer.Cancel()
 	delete(s.requests, p.firstSeq)
-	for _, f := range p.frags {
-		delete(s.bySeq, f.msg.Hdr.SeqNum)
+	for i := range p.frags {
+		delete(s.bySeq, p.frags[i].msg.Hdr.SeqNum)
 	}
 	res.Latency = s.eng.Now() - p.issued
 	res.Resends = p.retries
@@ -269,8 +295,12 @@ func (s *Session) finish(p *pending, res Result) {
 	} else {
 		s.stats.Completed++
 	}
-	if p.callback != nil {
-		p.callback(res)
+	// Recycle before the callback: completion handlers typically issue the
+	// next request, which can then reuse this record immediately.
+	cb := p.callback
+	s.putPending(p)
+	if cb != nil {
+		cb(res)
 	}
 }
 
@@ -311,7 +341,7 @@ func (s *Session) onPacket(pkt *netsim.Packet) {
 		if p == nil || !p.isUpdate {
 			return
 		}
-		f := p.frags[hdr.SeqNum-p.firstSeq]
+		f := &p.frags[hdr.SeqNum-p.firstSeq]
 		f.acks++
 		need := s.requiredAcks()
 		if need > 0 && !f.done && f.acks >= need {
@@ -324,7 +354,7 @@ func (s *Session) onPacket(pkt *netsim.Packet) {
 		if p == nil {
 			return
 		}
-		f := p.frags[hdr.SeqNum-p.firstSeq]
+		f := &p.frags[hdr.SeqNum-p.firstSeq]
 		f.serverAck = true
 		// A server ACK subsumes any number of PMNet ACKs: the request is
 		// fully processed.
@@ -357,15 +387,8 @@ func (s *Session) onPacket(pkt *netsim.Packet) {
 		// The server is missing one of our packets and no PMNet had it
 		// logged: resend just that fragment.
 		if p := s.bySeq[hdr.SeqNum]; p != nil {
-			f := p.frags[hdr.SeqNum-p.firstSeq]
 			s.stats.RetransServed++
-			s.host.Send(&netsim.Packet{
-				To:      s.cfg.Server,
-				SrcPort: s.cfg.SrcPort,
-				DstPort: s.cfg.DstPort,
-				PMNet:   true,
-				Msg:     f.msg,
-			})
+			s.sendFrag(p.frags[hdr.SeqNum-p.firstSeq].msg)
 		}
 	}
 }

@@ -39,7 +39,7 @@ func newEchoRig(t *testing.T) *echoRig {
 		if !p.PMNet || rig.dropAll {
 			return
 		}
-		rig.got = append(rig.got, p)
+		rig.got = append(rig.got, p.Clone())
 		hdr := p.Msg.Hdr
 		reply := func(typ protocol.Type, payload []byte) {
 			h := protocol.Header{Type: typ, SessionID: hdr.SessionID, SeqNum: hdr.SeqNum,

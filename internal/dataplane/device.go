@@ -90,6 +90,43 @@ type Device struct {
 
 	stats Stats
 	down  bool
+	jobs  []*pipeJob // recycled egress records (per-device)
+}
+
+// pipeJob is one pooled traversal of the MAT pipeline: a packet waiting out
+// PipelineLatency before hitting the wire. Its callback is bound once at
+// allocation, so forwarding and device-generated sends allocate no closures
+// in steady state.
+type pipeJob struct {
+	d   *Device
+	pkt *netsim.Packet
+	fn  func()
+}
+
+func (d *Device) getJob(pkt *netsim.Packet) *pipeJob {
+	var j *pipeJob
+	if k := len(d.jobs) - 1; k >= 0 {
+		j = d.jobs[k]
+		d.jobs = d.jobs[:k]
+	} else {
+		j = &pipeJob{d: d}
+		j.fn = func() { j.d.egress(j) }
+	}
+	j.pkt = pkt
+	return j
+}
+
+// egress fires when a packet clears the pipeline: recycle the record, then
+// transmit — or drop (and recycle the packet) if the device died meanwhile.
+func (d *Device) egress(j *pipeJob) {
+	pkt := j.pkt
+	j.pkt = nil
+	d.jobs = append(d.jobs, j)
+	if d.down {
+		d.net.FreePacket(pkt)
+		return
+	}
+	d.net.Transmit(pkt, d.id)
 }
 
 // New creates a PMNet device, registers it with the network under name, and
@@ -189,27 +226,34 @@ func (d *Device) Down() bool { return d.down }
 // latency.
 func (d *Device) forward(pkt *netsim.Packet) {
 	d.stats.Forwarded++
-	d.eng.After(d.cfg.PipelineLatency, func() {
-		if !d.down {
-			d.net.Transmit(pkt, d.id)
-		}
-	})
+	d.eng.After(d.cfg.PipelineLatency, d.getJob(pkt).fn)
 }
 
 // send emits a device-generated packet (ACK, cache response, regenerated
 // request) after the pipeline latency.
 func (d *Device) send(pkt *netsim.Packet) {
-	d.eng.After(d.cfg.PipelineLatency, func() {
-		if !d.down {
-			d.net.Transmit(pkt, d.id)
-		}
-	})
+	d.eng.After(d.cfg.PipelineLatency, d.getJob(pkt).fn)
+}
+
+// sendNew builds a device-originated PMNet packet on a pooled allocation and
+// emits it through the pipeline.
+func (d *Device) sendNew(to netsim.NodeID, srcPort, dstPort uint16, msg protocol.Message) {
+	pkt := d.net.AllocPacket()
+	pkt.ID = d.net.NewPacketID()
+	pkt.From = d.id
+	pkt.To = to
+	pkt.SrcPort = srcPort
+	pkt.DstPort = dstPort
+	pkt.PMNet = true
+	pkt.Msg = msg
+	d.send(pkt)
 }
 
 // HandlePacket implements the ingress stage (Figure 8): classify by port and
 // Type, then dispatch to the PM-access and egress stages.
 func (d *Device) HandlePacket(pkt *netsim.Packet) {
 	if d.down {
+		d.net.FreePacket(pkt)
 		return
 	}
 	// PMNet traffic is identified by the reserved UDP port range (§IV-A2).
@@ -220,7 +264,9 @@ func (d *Device) HandlePacket(pkt *netsim.Packet) {
 		// Non-PMNet traffic: PMNet is still a regular network device.
 		if pkt.To != d.id {
 			d.forward(pkt)
+			return
 		}
+		d.net.FreePacket(pkt)
 		return
 	}
 	switch pkt.Msg.Hdr.Type {
@@ -235,6 +281,7 @@ func (d *Device) HandlePacket(pkt *netsim.Packet) {
 	case protocol.TypeRecoverReq:
 		if pkt.To == d.id {
 			d.startRecovery(pkt.From)
+			d.net.FreePacket(pkt)
 		} else {
 			d.forward(pkt)
 		}
@@ -245,7 +292,9 @@ func (d *Device) HandlePacket(pkt *netsim.Packet) {
 		// forward along the path (§IV-B1).
 		if pkt.To != d.id {
 			d.forward(pkt)
+			return
 		}
+		d.net.FreePacket(pkt)
 	}
 }
 
@@ -286,15 +335,7 @@ func (d *Device) handleUpdate(pkt *netsim.Packet) {
 		}
 		ack.Seal()
 		d.stats.AcksSent++
-		d.send(&netsim.Packet{
-			ID:      d.net.NewPacketID(),
-			From:    d.id,
-			To:      client,
-			SrcPort: dstPort,
-			DstPort: srcPort,
-			PMNet:   true,
-			Msg:     protocol.Message{Hdr: ack},
-		})
+		d.sendNew(client, dstPort, srcPort, protocol.Message{Hdr: ack})
 	})
 	if res == insertAccepted && d.cache != nil {
 		if key, value, ok := cacheKeyValue(msg); ok {
@@ -323,15 +364,9 @@ func (d *Device) handleBypass(pkt *netsim.Packet) {
 				}
 				hdr.Seal()
 				d.stats.CacheResponses++
-				d.send(&netsim.Packet{
-					ID:      d.net.NewPacketID(),
-					From:    d.id,
-					To:      pkt.From,
-					SrcPort: pkt.DstPort,
-					DstPort: pkt.SrcPort,
-					PMNet:   true,
-					Msg:     protocol.Message{Hdr: hdr, Payload: resp.Encode()},
-				})
+				d.sendNew(pkt.From, pkt.DstPort, pkt.SrcPort,
+					protocol.Message{Hdr: hdr, Payload: resp.Encode()})
+				d.net.FreePacket(pkt)
 				return // served: drop the request
 			}
 		}
@@ -353,7 +388,9 @@ func (d *Device) handleServerAck(pkt *netsim.Packet) {
 	}
 	if pkt.To != d.id {
 		d.forward(pkt)
+		return
 	}
+	d.net.FreePacket(pkt)
 }
 
 // handleRetrans answers a server's retransmission request from the log when
@@ -363,19 +400,13 @@ func (d *Device) handleRetrans(pkt *netsim.Packet) {
 	srcPort, dstPort := pkt.SrcPort, pkt.DstPort
 	served := d.log.Lookup(pkt.Msg.Hdr.HashVal, &d.stats.Log, func(logged protocol.Message) {
 		d.stats.RetransAnswered++
-		d.send(&netsim.Packet{
-			ID:      d.net.NewPacketID(),
-			From:    d.id,
-			To:      server,
-			SrcPort: dstPort,
-			DstPort: srcPort,
-			PMNet:   true,
-			Msg:     logged,
-		})
+		d.sendNew(server, dstPort, srcPort, logged)
 	})
 	if !served && pkt.To != d.id {
 		d.forward(pkt) // let the client retransmit
+		return
 	}
+	d.net.FreePacket(pkt) // served (or addressed to us): the request ends here
 }
 
 // handleReadResp lets a passing server read response warm the cache
@@ -389,7 +420,9 @@ func (d *Device) handleReadResp(pkt *netsim.Packet) {
 	}
 	if pkt.To != d.id {
 		d.forward(pkt)
+		return
 	}
+	d.net.FreePacket(pkt)
 }
 
 // armEntryTTL schedules the repair timer for a freshly persisted entry: if
@@ -417,14 +450,7 @@ func (d *Device) armEntryTTL(hash uint32) {
 				return // reclaimed while the read was queued
 			}
 			d.stats.TTLResends++
-			d.send(&netsim.Packet{
-				ID:      d.net.NewPacketID(),
-				From:    d.id,
-				To:      dst,
-				DstPort: protocol.PortMin,
-				PMNet:   true,
-				Msg:     msg,
-			})
+			d.sendNew(dst, 0, protocol.PortMin, msg)
 		})
 		_ = served // queue momentarily full: the rescheduled timer retries
 		d.armEntryTTL(hash)
@@ -445,14 +471,7 @@ func (d *Device) startRecovery(server netsim.NodeID) {
 		ok := d.log.ReadSlot(slots[i], func(msg protocol.Message, valid bool) {
 			if valid {
 				d.stats.RecoveryResends++
-				d.send(&netsim.Packet{
-					ID:      d.net.NewPacketID(),
-					From:    d.id,
-					To:      server,
-					DstPort: protocol.PortMin,
-					PMNet:   true,
-					Msg:     msg,
-				})
+				d.sendNew(server, 0, protocol.PortMin, msg)
 			}
 			next(i + 1)
 		})

@@ -59,7 +59,7 @@ func newDevRig(t *testing.T, cfg Config) *rig {
 
 	rg.client.OnReceive(func(p *netsim.Packet) {
 		if p.PMNet {
-			rg.clientGot[p.Msg.Hdr.Type] = append(rg.clientGot[p.Msg.Hdr.Type], p)
+			rg.clientGot[p.Msg.Hdr.Type] = append(rg.clientGot[p.Msg.Hdr.Type], p.Clone())
 		}
 	})
 	rg.server.OnReceive(func(p *netsim.Packet) {
@@ -69,7 +69,7 @@ func newDevRig(t *testing.T, cfg Config) *rig {
 		hdr := p.Msg.Hdr
 		switch hdr.Type {
 		case protocol.TypeUpdateReq:
-			rg.serverGot = append(rg.serverGot, p)
+			rg.serverGot = append(rg.serverGot, p.Clone())
 			if req, err := protocol.DecodeRequest(p.Msg.Payload); err == nil && req.Op == protocol.OpPut {
 				rg.store[string(req.Args[0])] = req.Args[1]
 			}

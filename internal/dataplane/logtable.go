@@ -51,6 +51,7 @@ type LogTable struct {
 	queue    *pmem.Queue
 	slotSize int
 	slots    []slotMeta
+	scratch  []byte // entry staging buffer (safe to reuse: TryWrite copies synchronously)
 }
 
 // LogStats counts log activity.
@@ -74,7 +75,13 @@ func NewLogTable(dev *pmem.Device, queue *pmem.Queue, slotSize int) *LogTable {
 	if n == 0 {
 		panic("dataplane: PM too small for a single slot")
 	}
-	return &LogTable{dev: dev, queue: queue, slotSize: slotSize, slots: make([]slotMeta, n)}
+	return &LogTable{
+		dev:      dev,
+		queue:    queue,
+		slotSize: slotSize,
+		slots:    make([]slotMeta, n),
+		scratch:  make([]byte, 0, slotSize),
+	}
 }
 
 // Slots returns the number of slots in the table.
@@ -108,8 +115,8 @@ const (
 // Insert attempts to log msg headed for dst. onPersist runs when the entry
 // is durable in the device PM — the moment PMNet may acknowledge the client.
 func (t *LogTable) Insert(msg protocol.Message, dst int, stats *LogStats, onPersist func()) insertResult {
-	wire := msg.Encode()
-	if len(wire)+slotMetaSize > t.slotSize {
+	wireLen := msg.WireSize()
+	if wireLen+slotMetaSize > t.slotSize {
 		stats.BypassedOversize++
 		return insertOversize
 	}
@@ -119,12 +126,13 @@ func (t *LogTable) Insert(msg protocol.Message, dst int, stats *LogStats, onPers
 		stats.BypassedCollision++
 		return insertCollision
 	}
-	entry := make([]byte, slotMetaSize+len(wire))
-	entry[0] = 1
-	binary.BigEndian.PutUint16(entry[2:], uint16(len(wire)))
-	binary.BigEndian.PutUint32(entry[4:], msg.Hdr.HashVal)
-	binary.BigEndian.PutUint64(entry[8:], uint64(dst))
-	copy(entry[slotMetaSize:], wire)
+	entry := append(t.scratch[:0], 1, 0)
+	entry = binary.BigEndian.AppendUint16(entry, uint16(wireLen))
+	entry = binary.BigEndian.AppendUint32(entry, msg.Hdr.HashVal)
+	entry = binary.BigEndian.AppendUint64(entry, uint64(dst))
+	entry = msg.Hdr.Encode(entry)
+	entry = append(entry, msg.Payload...)
+	t.scratch = entry
 	ok := t.queue.TryWrite(t.slotOffset(idx), entry, func() {
 		switch {
 		case s.invalidateOnDone:

@@ -39,6 +39,7 @@ type CellResult struct {
 	Driver     workload.DriverStats // Cfg cells: driver accounting
 	V          any                  // Custom cells: experiment-defined payload
 	VirtualEnd sim.Time             // virtual clock at cell completion
+	Events     uint64               // Cfg cells: simulator events fired (deterministic per seed)
 	Wall       time.Duration        // real time spent executing the cell
 	Err        error
 }
@@ -69,6 +70,7 @@ func execCell(c Cell) CellResult {
 		out.Run = res.Run
 		out.Driver = res.Driver
 		out.VirtualEnd = res.Bed.Now()
+		out.Events = res.Bed.Engine.EventsRun()
 	} else {
 		out.V, out.VirtualEnd = c.Custom()
 	}

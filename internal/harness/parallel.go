@@ -31,11 +31,23 @@ type ExperimentRun struct {
 	Wall time.Duration
 }
 
+// Perf aggregates host-side execution metrics across a batch — the perf
+// trajectory the BENCH artifacts track. Events is deterministic (a pure
+// function of the experiment list and seed); the rates and allocation counts
+// are wall-clock-class measurements that vary run to run.
+type Perf struct {
+	Events         uint64  // simulator events fired across all cells
+	EventsPerSec   float64 // Events / cell-execution wall time
+	Allocs         uint64  // heap allocations during cell execution (all workers)
+	AllocsPerEvent float64
+}
+
 // BatchResult is the outcome of RunExperiments.
 type BatchResult struct {
 	Seed        uint64
 	Parallel    int           // resolved worker count
 	Wall        time.Duration // real elapsed time of the whole batch
+	Perf        Perf
 	Experiments []ExperimentRun
 }
 
@@ -65,13 +77,30 @@ func RunExperiments(ids []string, opt Options) (*BatchResult, error) {
 		spans = append(spans, span{s, len(flat), len(flat) + len(cs)})
 		flat = append(flat, cs...)
 	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	//pmnetlint:ignore wallclock real elapsed time is reported only, never simulated
+	cellStart := time.Now()
 	results := runCells(flat, workers)
+	//pmnetlint:ignore wallclock real elapsed time is reported only, never simulated
+	cellWall := time.Since(cellStart)
+	runtime.ReadMemStats(&ms1)
 	for _, r := range results {
 		if r.Err != nil {
 			return nil, r.Err
 		}
 	}
 	out := &BatchResult{Seed: opt.Seed, Parallel: workers}
+	for _, r := range results {
+		out.Perf.Events += r.Events
+	}
+	out.Perf.Allocs = ms1.Mallocs - ms0.Mallocs
+	if s := cellWall.Seconds(); s > 0 {
+		out.Perf.EventsPerSec = float64(out.Perf.Events) / s
+	}
+	if out.Perf.Events > 0 {
+		out.Perf.AllocsPerEvent = float64(out.Perf.Allocs) / float64(out.Perf.Events)
+	}
 	for _, sp := range spans {
 		cells := results[sp.lo:sp.hi]
 		er := ExperimentRun{Result: sp.spec.Render(opt.Seed, cells), Cells: cells}

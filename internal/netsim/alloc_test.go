@@ -1,0 +1,67 @@
+package netsim
+
+// Allocation pin + micro-benchmark for the packet path. A packet's full
+// journey — Transmit, link serialization, arrival, RX stack crossing, app
+// callback, recycle — runs on pooled packets and pooled event payloads, so
+// steady state must be allocation-free.
+
+import (
+	"testing"
+
+	"pmnet/internal/raceflag"
+	"pmnet/internal/sim"
+)
+
+// transmitRig is a two-host wire with a no-op receiver, the minimal topology
+// that exercises every pooled record type on the packet path.
+type transmitRig struct {
+	eng *sim.Engine
+	net *Network
+	a   *Host
+	b   *Host
+}
+
+func newTransmitRig() *transmitRig {
+	eng := sim.NewEngine()
+	r := sim.NewRand(1)
+	n := New(eng, r)
+	a := NewHost(n, 1, "a", StackModel{}, 1, r)
+	b := NewHost(n, 2, "b", StackModel{}, 1, r)
+	n.Connect(a.ID(), b.ID(), DefaultLink())
+	b.OnReceive(func(*Packet) {})
+	return &transmitRig{eng: eng, net: n, a: a, b: b}
+}
+
+// round pushes one raw packet a→b and drains the virtual clock.
+func (rg *transmitRig) round() {
+	pkt := rg.net.AllocPacket()
+	pkt.To = rg.b.ID()
+	pkt.Raw = append(pkt.Raw[:0], "ping-payload"...)
+	rg.net.Transmit(pkt, rg.a.ID())
+	rg.eng.Run()
+}
+
+// TestTransmitAllocs pins Network.Transmit plus delivery to zero steady-state
+// allocations once the packet, txEnd, arrival, crossing, and engine-node
+// pools have warmed up.
+func TestTransmitAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	rg := newTransmitRig()
+	rg.round() // warm the pools and the route tables
+	if got := testing.AllocsPerRun(100, rg.round); got != 0 {
+		t.Errorf("Transmit+deliver allocated %.1f objects per packet, want 0", got)
+	}
+}
+
+// BenchmarkTransmit measures one full packet journey per iteration.
+func BenchmarkTransmit(b *testing.B) {
+	rg := newTransmitRig()
+	rg.round()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rg.round()
+	}
+}

@@ -17,6 +17,7 @@ type CrossTraffic struct {
 	tenant    uint16
 	running   bool
 	sent      uint64
+	fireFn    func() // bound once; next() schedules no per-packet closure
 }
 
 // NewCrossTraffic creates a generator pushing `size`-byte datagrams from →
@@ -26,7 +27,7 @@ func NewCrossTraffic(net *Network, rand *sim.Rand, from, to NodeID, size int, ta
 		size = 1400
 	}
 	pktBits := float64((size + UDPOverhead) * 8)
-	return &CrossTraffic{
+	c := &CrossTraffic{
 		net:       net,
 		eng:       net.Engine(),
 		rand:      rand,
@@ -36,6 +37,8 @@ func NewCrossTraffic(net *Network, rand *sim.Rand, from, to NodeID, size int, ta
 		meanGapNs: pktBits / targetBitsPerSec * 1e9,
 		tenant:    tenant,
 	}
+	c.fireFn = c.fire
+	return c
 }
 
 // Start begins injection; Stop halts it. The generator schedules one event
@@ -62,17 +65,23 @@ func (c *CrossTraffic) next() {
 	if gap < 1 {
 		gap = 1
 	}
-	c.eng.After(gap, func() {
-		if !c.running {
-			return
-		}
-		c.sent++
-		c.net.Transmit(&Packet{
-			To:     c.to,
-			From:   c.from,
-			Raw:    make([]byte, c.size),
-			Tenant: c.tenant,
-		}, c.from)
-		c.next()
-	})
+	c.eng.After(gap, c.fireFn)
+}
+
+func (c *CrossTraffic) fire() {
+	if !c.running {
+		return
+	}
+	c.sent++
+	p := c.net.AllocPacket()
+	p.To = c.to
+	p.From = c.from
+	p.Tenant = c.tenant
+	if cap(p.Raw) >= c.size {
+		p.Raw = p.Raw[:c.size]
+	} else {
+		p.Raw = make([]byte, c.size)
+	}
+	c.net.Transmit(p, c.from)
+	c.next()
 }

@@ -87,7 +87,7 @@ func (c *CPU) Submit(cost sim.Time, fn func()) sim.Time {
 	c.busyAt[best] = done
 	c.busySum += cost
 	c.jobs++
-	c.eng.At(done, func() { fn() })
+	c.eng.At(done, fn)
 	return done
 }
 
@@ -116,7 +116,58 @@ type Host struct {
 	cpu   *CPU
 	recv  func(pkt *Packet)
 	down  bool
-	gen   uint64 // restart generation: packets in the old stack are dropped
+	gen   uint64      // restart generation: packets in the old stack are dropped
+	xings []*crossing // recycled stack-traversal records (per-host)
+}
+
+// crossing is one pooled stack traversal (TX or RX). Its callback is bound
+// once at allocation, so Send/HandlePacket schedule no per-packet closures.
+type crossing struct {
+	h   *Host
+	pkt *Packet
+	gen uint64
+	tx  bool
+	fn  func()
+}
+
+func (h *Host) getCrossing(pkt *Packet, tx bool) *crossing {
+	var c *crossing
+	if k := len(h.xings) - 1; k >= 0 {
+		c = h.xings[k]
+		h.xings = h.xings[:k]
+	} else {
+		c = &crossing{h: h}
+		c.fn = func() { c.h.crossed(c) }
+	}
+	c.pkt = pkt
+	c.gen = h.gen
+	c.tx = tx
+	return c
+}
+
+// crossed fires when a packet emerges from the host stack. Packets that die
+// here (host down, restart generation mismatch, no receiver) are recycled;
+// received packets are recycled once the application callback returns —
+// receivers must not retain the *Packet (copying Msg is fine; payload
+// buffers are never pooled).
+func (h *Host) crossed(c *crossing) {
+	pkt, gen, tx := c.pkt, c.gen, c.tx
+	c.pkt = nil
+	h.xings = append(h.xings, c)
+	if h.down || gen != h.gen {
+		h.net.FreePacket(pkt)
+		return
+	}
+	if tx {
+		h.net.Transmit(pkt, h.id)
+		return
+	}
+	if h.recv == nil {
+		h.net.FreePacket(pkt)
+		return
+	}
+	h.recv(pkt)
+	h.net.FreePacket(pkt)
 }
 
 // NewHost creates a host with the given stack model and worker count,
@@ -165,31 +216,21 @@ func (h *Host) OnReceive(fn func(pkt *Packet)) { h.recv = fn }
 // with the time the application called Send.
 func (h *Host) Send(pkt *Packet) {
 	if h.down {
+		h.net.FreePacket(pkt)
 		return
 	}
 	pkt.From = h.id
 	pkt.SentAt = h.eng.Now()
-	gen := h.gen
-	h.eng.After(h.stack.Sample(h.rand), func() {
-		if h.down || gen != h.gen {
-			return
-		}
-		h.net.Transmit(pkt, h.id)
-	})
+	h.eng.After(h.stack.Sample(h.rand), h.getCrossing(pkt, true).fn)
 }
 
 // HandlePacket implements Node: RX stack latency then the app callback.
 func (h *Host) HandlePacket(pkt *Packet) {
 	if h.down {
+		h.net.FreePacket(pkt)
 		return
 	}
-	gen := h.gen
-	h.eng.After(h.stack.Sample(h.rand), func() {
-		if h.down || gen != h.gen || h.recv == nil {
-			return
-		}
-		h.recv(pkt)
-	})
+	h.eng.After(h.stack.Sample(h.rand), h.getCrossing(pkt, false).fn)
 }
 
 // Fail takes the host down: all in-flight stack traversals and future

@@ -44,6 +44,13 @@ type Stats struct {
 
 // Network owns the topology, routing and packet delivery.
 // It is single-threaded on the virtual clock.
+//
+// Packet ownership: packets minted with AllocPacket are owned by whoever
+// holds them and recycled with FreePacket when their journey ends — the
+// network frees on every drop path, hosts free after the receive callback
+// returns (so applications must not retain a *Packet past the callback;
+// copying Msg is fine — payload buffers are never pooled), and devices free
+// packets they sink. Packets built with &Packet{} bypass the pool entirely.
 type Network struct {
 	eng    *sim.Engine
 	rand   *sim.Rand
@@ -54,6 +61,39 @@ type Network struct {
 	down   map[NodeID]bool              // failed nodes drop all traffic
 	nextID uint64
 	stats  Stats
+
+	// Per-network free lists (single-threaded on the virtual clock, so no
+	// sync.Pool — see DESIGN.md "Hot path & pooling"). txs/arrs/dtxs hold
+	// event-payload records whose callbacks are bound once at allocation, so
+	// a steady-state Transmit schedules no new closures.
+	pkts []*Packet
+	txs  []*txEnd
+	arrs []*arrival
+	dtxs []*delayedTx
+}
+
+// txEnd is a pooled "serialization finished" event payload.
+type txEnd struct {
+	n    *Network
+	l    *link
+	size int
+	fn   func()
+}
+
+// arrival is a pooled "packet reaches next hop" event payload.
+type arrival struct {
+	n   *Network
+	pkt *Packet
+	hop NodeID
+	fn  func()
+}
+
+// delayedTx is a pooled payload for TransmitAfter.
+type delayedTx struct {
+	n    *Network
+	pkt  *Packet
+	from NodeID
+	fn   func()
 }
 
 // New creates an empty network on eng. rand drives random loss; pass any
@@ -193,6 +233,99 @@ func (n *Network) NewPacketID() uint64 {
 	return n.nextID
 }
 
+// AllocPacket returns a zeroed pool-owned packet (its Raw buffer keeps its
+// capacity across recycles). Release it with FreePacket when its journey
+// ends; the network's drop paths and host delivery do so automatically.
+func (n *Network) AllocPacket() *Packet {
+	if k := len(n.pkts) - 1; k >= 0 {
+		p := n.pkts[k]
+		n.pkts = n.pkts[:k]
+		p.pool = pkLive
+		return p
+	}
+	return &Packet{pool: pkLive}
+}
+
+// FreePacket recycles a pool-owned packet. Unpooled packets (built with
+// &Packet{}) are ignored; freeing the same packet twice panics.
+func (n *Network) FreePacket(p *Packet) {
+	switch p.pool {
+	case pkUnpooled:
+		return
+	case pkFree:
+		panic("netsim: packet double free")
+	}
+	raw := p.Raw[:0]
+	*p = Packet{Raw: raw, pool: pkFree}
+	n.pkts = append(n.pkts, p)
+}
+
+func (n *Network) getTxEnd(l *link, size int) *txEnd {
+	var t *txEnd
+	if k := len(n.txs) - 1; k >= 0 {
+		t = n.txs[k]
+		n.txs = n.txs[:k]
+	} else {
+		t = &txEnd{n: n}
+		t.fn = func() { t.n.finishTx(t) }
+	}
+	t.l = l
+	t.size = size
+	return t
+}
+
+func (n *Network) finishTx(t *txEnd) {
+	t.l.queued -= t.size
+	t.l = nil
+	n.txs = append(n.txs, t)
+}
+
+func (n *Network) getArrival(pkt *Packet, hop NodeID) *arrival {
+	var a *arrival
+	if k := len(n.arrs) - 1; k >= 0 {
+		a = n.arrs[k]
+		n.arrs = n.arrs[:k]
+	} else {
+		a = &arrival{n: n}
+		a.fn = func() { a.n.arrive(a) }
+	}
+	a.pkt = pkt
+	a.hop = hop
+	return a
+}
+
+func (n *Network) arrive(a *arrival) {
+	pkt, hop := a.pkt, a.hop
+	a.pkt = nil
+	n.arrs = append(n.arrs, a)
+	pkt.Hops++
+	n.deliver(pkt, hop)
+}
+
+// TransmitAfter transmits pkt from `from` once delay has elapsed, without
+// allocating a closure — the pooled-payload form of
+// eng.After(delay, func() { net.Transmit(pkt, from) }).
+func (n *Network) TransmitAfter(delay sim.Time, pkt *Packet, from NodeID) {
+	var t *delayedTx
+	if k := len(n.dtxs) - 1; k >= 0 {
+		t = n.dtxs[k]
+		n.dtxs = n.dtxs[:k]
+	} else {
+		t = &delayedTx{n: n}
+		t.fn = func() { t.n.fireDelayedTx(t) }
+	}
+	t.pkt = pkt
+	t.from = from
+	n.eng.After(delay, t.fn)
+}
+
+func (n *Network) fireDelayedTx(t *delayedTx) {
+	pkt, from := t.pkt, t.from
+	t.pkt = nil
+	n.dtxs = append(n.dtxs, t)
+	n.Transmit(pkt, from)
+}
+
 // Transmit moves pkt one hop from `from` toward pkt.To, modelling the
 // egress link. Delivery invokes the next node's HandlePacket on the virtual
 // clock. Lost packets vanish (UDP semantics); recovery is the protocol
@@ -203,6 +336,7 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 	}
 	if n.down[from] {
 		n.stats.DroppedDead++
+		n.FreePacket(pkt)
 		return
 	}
 	if from == pkt.To {
@@ -213,21 +347,25 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 	hop, ok := n.NextHop(from, pkt.To)
 	if !ok {
 		n.stats.DroppedDead++
+		n.FreePacket(pkt)
 		return
 	}
 	l := n.links[[2]NodeID{from, hop}]
 	if l == nil {
 		n.stats.DroppedDead++
+		n.FreePacket(pkt)
 		return
 	}
 	size := pkt.Size()
 	if l.cfg.QueueBytes > 0 && l.queued+size > l.cfg.QueueBytes {
 		l.dropped++
 		n.stats.DroppedFull++
+		n.FreePacket(pkt)
 		return
 	}
 	if l.cfg.LossRate > 0 && n.rand.Float64() < l.cfg.LossRate {
 		n.stats.DroppedRand++
+		n.FreePacket(pkt)
 		return
 	}
 	var ser sim.Time
@@ -243,22 +381,20 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 	l.busyAt = start + ser
 	txDone := l.busyAt
 	l.sent++
-	n.eng.At(txDone, func() { l.queued -= size })
-	arrive := txDone + l.cfg.PropDelay
-	n.eng.At(arrive, func() {
-		pkt.Hops++
-		n.deliver(pkt, hop)
-	})
+	n.eng.At(txDone, n.getTxEnd(l, size).fn)
+	n.eng.At(txDone+l.cfg.PropDelay, n.getArrival(pkt, hop).fn)
 }
 
 func (n *Network) deliver(pkt *Packet, at NodeID) {
 	if n.down[at] {
 		n.stats.DroppedDead++
+		n.FreePacket(pkt)
 		return
 	}
 	node, ok := n.nodes[at]
 	if !ok {
 		n.stats.DroppedDead++
+		n.FreePacket(pkt)
 		return
 	}
 	if at == pkt.To {

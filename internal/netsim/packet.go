@@ -35,7 +35,22 @@ type Packet struct {
 
 	SentAt sim.Time // when the sending host's app handed it to the stack
 	Hops   int      // number of links traversed so far
+
+	pool poolState // free-list lifecycle; zero for packets built with &Packet{}
 }
+
+// poolState tracks a packet's position in the network free-list lifecycle.
+// Packets constructed directly with &Packet{} (tests, external drivers) stay
+// pkUnpooled and are ignored by FreePacket; pooled packets cycle between
+// pkLive and pkFree, and freeing one twice panics — a double free means two
+// owners, which would corrupt a reused packet silently.
+type poolState uint8
+
+const (
+	pkUnpooled poolState = iota
+	pkLive
+	pkFree
+)
 
 // Size returns the bytes the packet occupies on the wire.
 func (p *Packet) Size() int {
@@ -53,10 +68,12 @@ func (p *Packet) String() string {
 }
 
 // Clone returns a shallow copy with a fresh identity, used when a device
-// mirrors or regenerates a packet (e.g. a PMNet retransmission).
+// mirrors or regenerates a packet (e.g. a PMNet retransmission). The copy is
+// never pool-owned, regardless of the original.
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Hops = 0
+	q.pool = pkUnpooled
 	return &q
 }
 

@@ -34,10 +34,9 @@ func (s *Switch) Forwarded() uint64 { return s.seen }
 // HandlePacket implements Node by forwarding toward the destination.
 func (s *Switch) HandlePacket(pkt *Packet) {
 	if pkt.To == s.id {
+		s.net.FreePacket(pkt)
 		return // addressed to the switch itself: sink it
 	}
 	s.seen++
-	s.net.Engine().After(s.latency, func() {
-		s.net.Transmit(pkt, s.id)
-	})
+	s.net.TransmitAfter(s.latency, pkt, s.id)
 }

@@ -1,0 +1,52 @@
+package pmem
+
+// Allocation pin + micro-benchmark for the persistence hot path. Dirty-line
+// tracking is a word-packed bitset scanned with TrailingZeros64, so WriteAt
+// and Persist touch no heap at all.
+
+import (
+	"testing"
+
+	"pmnet/internal/raceflag"
+)
+
+// TestPersistAllocs pins WriteAt + Persist to zero allocations.
+func TestPersistAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	d := NewDevice(DefaultConfig(1 << 16))
+	buf := make([]byte, 1024)
+	round := func() {
+		if err := d.WriteAt(buf, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Persist(4096, len(buf)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round()
+	if got := testing.AllocsPerRun(100, round); got != 0 {
+		t.Errorf("WriteAt+Persist allocated %.1f objects per round, want 0", got)
+	}
+}
+
+// BenchmarkPersistAll measures a scattered-write + whole-device barrier
+// cycle: the PersistAll scan must skip clean words quickly and flush only the
+// dirty lines.
+func BenchmarkPersistAll(b *testing.B) {
+	const capacity = 1 << 20
+	d := NewDevice(DefaultConfig(capacity))
+	buf := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			off := ((i*8 + j) * 4096) % capacity
+			if err := d.WriteAt(buf, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+		d.PersistAll()
+	}
+}

@@ -11,6 +11,7 @@ package pmem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"pmnet/internal/sim"
 )
@@ -65,7 +66,7 @@ type Device struct {
 	cfg      Config
 	volatile []byte
 	durable  []byte
-	dirty    []bool // one flag per line
+	dirty    []uint64 // bitset, one bit per line
 	stats    Stats
 }
 
@@ -83,7 +84,7 @@ func NewDevice(cfg Config) *Device {
 		cfg:      cfg,
 		volatile: make([]byte, cfg.Capacity),
 		durable:  make([]byte, cfg.Capacity),
-		dirty:    make([]bool, lines),
+		dirty:    make([]uint64, (lines+63)/64),
 	}
 }
 
@@ -111,7 +112,7 @@ func (d *Device) WriteAt(p []byte, off int) error {
 	}
 	copy(d.volatile[off:], p)
 	for line := off / d.cfg.LineSize; line <= (off+len(p)-1)/d.cfg.LineSize && len(p) > 0; line++ {
-		d.dirty[line] = true
+		d.dirty[line>>6] |= 1 << (uint(line) & 63)
 	}
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(len(p))
@@ -142,19 +143,37 @@ func (d *Device) Persist(off, n int) error {
 	}
 	first := off / d.cfg.LineSize
 	last := (off + n - 1) / d.cfg.LineSize
-	for line := first; line <= last; line++ {
-		if d.dirty[line] {
-			lo := line * d.cfg.LineSize
+	for w := first >> 6; w <= last>>6; w++ {
+		word := d.dirty[w] & d.rangeMask(w, first, last)
+		d.dirty[w] &^= word
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			lo := (w<<6 + b) * d.cfg.LineSize
 			hi := lo + d.cfg.LineSize
 			if hi > len(d.volatile) {
 				hi = len(d.volatile)
 			}
 			copy(d.durable[lo:hi], d.volatile[lo:hi])
-			d.dirty[line] = false
 		}
 	}
 	d.stats.Persists++
 	return nil
+}
+
+// rangeMask returns the bits of dirty word w that fall inside the line range
+// [first, last].
+func (d *Device) rangeMask(w, first, last int) uint64 {
+	mask := ^uint64(0)
+	if w == first>>6 {
+		mask &= ^uint64(0) << (uint(first) & 63)
+	}
+	if w == last>>6 {
+		if r := uint(last) & 63; r != 63 {
+			mask &= 1<<(r+1) - 1
+		}
+	}
+	return mask
 }
 
 // PersistAll flushes every dirty line. The whole-device range can only fail
@@ -174,8 +193,8 @@ func (d *Device) Persisted(off, n int) bool {
 	}
 	first := off / d.cfg.LineSize
 	last := (off + n - 1) / d.cfg.LineSize
-	for line := first; line <= last; line++ {
-		if d.dirty[line] {
+	for w := first >> 6; w <= last>>6; w++ {
+		if d.dirty[w]&d.rangeMask(w, first, last) != 0 {
 			return false
 		}
 	}
@@ -188,7 +207,7 @@ func (d *Device) Persisted(off, n int) bool {
 func (d *Device) PowerFail() {
 	copy(d.volatile, d.durable)
 	for i := range d.dirty {
-		d.dirty[i] = false
+		d.dirty[i] = 0
 	}
 	d.stats.PowerFailures++
 }

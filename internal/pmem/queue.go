@@ -20,8 +20,79 @@ type Queue struct {
 	busyAt sim.Time // virtual time at which the media becomes free
 	gen    uint64   // bumped by PowerFail; stale completions are dropped
 	flight int      // entries currently in flight
+	ops    []*pmOp  // recycled operation records (per-queue, single-threaded)
 
 	stats QueueStats
+}
+
+// pmOp is one pooled in-flight queue operation. Its completion callback fn
+// is bound once at allocation and reused for the record's whole life, so
+// retiring an operation schedules no new closure. The write staging buffer
+// travels with the record; read result buffers are NOT pooled — they are
+// handed to the caller, which may alias them indefinitely (DecodeMessage
+// keeps payload slices).
+type pmOp struct {
+	q     *Queue
+	write bool
+	off   int
+	n     int
+	buf   []byte // write staging copy (reused; cap grows to the largest entry)
+	gen   uint64
+	done  func()       // write completion
+	doneR func([]byte) // read completion
+	fn    func()       // bound once: retires this record
+}
+
+func (q *Queue) getOp() *pmOp {
+	if k := len(q.ops) - 1; k >= 0 {
+		op := q.ops[k]
+		q.ops = q.ops[:k]
+		return op
+	}
+	op := &pmOp{q: q}
+	op.fn = func() { op.q.complete(op) }
+	return op
+}
+
+func (q *Queue) putOp(op *pmOp) {
+	op.done = nil
+	op.doneR = nil
+	q.ops = append(q.ops, op)
+}
+
+// complete retires one queued operation on the virtual clock. The record is
+// recycled before the caller's callback runs, so the callback may issue new
+// queue operations that reuse it immediately.
+func (q *Queue) complete(op *pmOp) {
+	if op.gen != q.gen {
+		q.putOp(op) // lost to a power failure
+		return
+	}
+	q.used -= op.n
+	q.flight--
+	if op.write {
+		if err := q.dev.WriteAt(op.buf[:op.n], op.off); err != nil {
+			panic("pmem: queued write out of range: " + err.Error())
+		}
+		if err := q.dev.Persist(op.off, op.n); err != nil {
+			panic("pmem: queued persist out of range: " + err.Error())
+		}
+		done := op.done
+		q.putOp(op)
+		if done != nil {
+			done()
+		}
+		return
+	}
+	buf := make([]byte, op.n)
+	if err := q.dev.ReadAt(buf, op.off); err != nil {
+		panic("pmem: queued read out of range: " + err.Error())
+	}
+	doneR := op.doneR
+	q.putOp(op)
+	if doneR != nil {
+		doneR(buf)
+	}
 }
 
 // QueueStats counts queue activity.
@@ -90,26 +161,18 @@ func (q *Queue) TryWrite(off int, data []byte, done func()) bool {
 	}
 	q.stats.WritesAccepted++
 	q.flight++
-	buf := make([]byte, n)
-	copy(buf, data)
-	gen := q.gen
+	op := q.getOp()
+	op.write = true
+	op.off = off
+	op.n = n
+	op.gen = q.gen
+	op.done = done
+	if cap(op.buf) < n {
+		op.buf = make([]byte, n)
+	}
+	copy(op.buf[:n], data)
 	doneAt := q.reserve(q.serTime(n), q.dev.Config().WriteLatency)
-	q.eng.At(doneAt, func() {
-		if gen != q.gen {
-			return // lost to a power failure
-		}
-		q.used -= n
-		q.flight--
-		if err := q.dev.WriteAt(buf, off); err != nil {
-			panic("pmem: queued write out of range: " + err.Error())
-		}
-		if err := q.dev.Persist(off, n); err != nil {
-			panic("pmem: queued persist out of range: " + err.Error())
-		}
-		if done != nil {
-			done()
-		}
-	})
+	q.eng.At(doneAt, op.fn)
 	return true
 }
 
@@ -126,22 +189,14 @@ func (q *Queue) TryRead(off, n int, done func(data []byte)) bool {
 	}
 	q.stats.ReadsAccepted++
 	q.flight++
-	gen := q.gen
+	op := q.getOp()
+	op.write = false
+	op.off = off
+	op.n = n
+	op.gen = q.gen
+	op.doneR = done
 	doneAt := q.reserve(q.serTime(n), q.dev.Config().ReadLatency)
-	q.eng.At(doneAt, func() {
-		if gen != q.gen {
-			return // lost to a power failure
-		}
-		q.used -= n
-		q.flight--
-		buf := make([]byte, n)
-		if err := q.dev.ReadAt(buf, off); err != nil {
-			panic("pmem: queued read out of range: " + err.Error())
-		}
-		if done != nil {
-			done(buf)
-		}
-	})
+	q.eng.At(doneAt, op.fn)
 	return true
 }
 

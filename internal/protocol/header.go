@@ -118,6 +118,9 @@ func (h *Header) encodeInto(b []byte, hash uint32) {
 	binary.BigEndian.PutUint32(b[12:], hash)
 }
 
+// crcTable drives the in-package CRC loop below.
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
 // ComputeHash returns the CRC-32 (IEEE) of the encoded header with both the
 // HashVal field and the Type byte zeroed. Excluding Type means every packet
 // related to one request — the update-req itself, the server-ACK that
@@ -125,11 +128,21 @@ func (h *Header) encodeInto(b []byte, hash uint32) {
 // what lets a PMNet device use HashVal as its PM log index for all of them
 // (§IV-B1). The hash still covers SessionID/SeqNum/fragment fields, so it
 // doubles as an integrity check on those.
+//
+// The checksum is computed with a plain table-driven loop rather than
+// crc32.ChecksumIEEE: the stdlib's assembly kernels make the input escape,
+// which would heap-allocate the 16-byte scratch header on every Seal and
+// DecodeHeader — one of the hottest allocation sites in the simulator. The
+// result is bit-identical (same polynomial, same algorithm).
 func (h *Header) ComputeHash() uint32 {
 	var b [HeaderSize]byte
 	h.encodeInto(b[:], 0)
 	b[0] = 0 // Type excluded: shared across a request's related packets
-	return crc32.ChecksumIEEE(b[:])
+	crc := ^uint32(0)
+	for _, v := range b {
+		crc = crcTable[byte(crc)^v] ^ (crc >> 8)
+	}
+	return ^crc
 }
 
 // Seal fills HashVal from the rest of the header and returns the header for

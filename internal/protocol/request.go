@@ -117,6 +117,17 @@ func encodeArgs(dst []byte, args [][]byte) []byte {
 	return dst
 }
 
+// argsSize returns the encoded size of an argument vector, so Encode can
+// allocate its output in one shot instead of growing through appends.
+func argsSize(args [][]byte) int {
+	n := 1 // arg count byte
+	var tmp [binary.MaxVarintLen64]byte
+	for _, a := range args {
+		n += binary.PutUvarint(tmp[:], uint64(len(a))) + len(a)
+	}
+	return n
+}
+
 func decodeArgs(b []byte) ([][]byte, error) {
 	if len(b) < 1 {
 		return nil, ErrTruncated
@@ -138,7 +149,7 @@ func decodeArgs(b []byte) ([][]byte, error) {
 
 // Encode serializes the request as a payload.
 func (r Request) Encode() []byte {
-	out := make([]byte, 0, 8)
+	out := make([]byte, 0, 1+argsSize(r.Args))
 	out = append(out, byte(r.Op))
 	return encodeArgs(out, r.Args)
 }
@@ -161,7 +172,7 @@ func DecodeRequest(b []byte) (Request, error) {
 
 // Encode serializes the response as a payload.
 func (r Response) Encode() []byte {
-	out := make([]byte, 0, 8)
+	out := make([]byte, 0, 1+argsSize(r.Args))
 	out = append(out, byte(r.Status))
 	return encodeArgs(out, r.Args)
 }

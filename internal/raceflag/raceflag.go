@@ -1,0 +1,6 @@
+// Package raceflag reports, at compile time, whether the race detector is
+// enabled. The allocation-pinning tests skip under -race: the detector
+// instruments every allocation (and allocates for its own shadow state), so
+// testing.AllocsPerRun counts are meaningless there. The pins still run in
+// the plain `go test ./...` pass, which CI executes alongside the race pass.
+package raceflag

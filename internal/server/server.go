@@ -94,10 +94,23 @@ type query struct {
 	dstPort  uint16
 }
 
+// bufferedFrag is one out-of-order update fragment parked in the reorder
+// buffer. It copies the fields the ordered path needs out of the carrying
+// packet: the packet itself is pool-owned and recycled when the host's
+// receive callback returns, so it must never be retained across virtual
+// time. (Msg.Payload may be aliased freely — payload buffers are not
+// pooled.)
+type bufferedFrag struct {
+	msg     protocol.Message
+	from    netsim.NodeID
+	srcPort uint16
+	dstPort uint16
+}
+
 type sessState struct {
 	client   netsim.NodeID
 	nextSeq  uint32
-	buffered map[uint32]*netsim.Packet
+	buffered map[uint32]bufferedFrag
 	reasm    map[uint32]*protocol.Reassembler
 	queue    []query
 	busy     bool
@@ -154,7 +167,7 @@ func (s *Server) session(id uint16) *sessState {
 	if !ok {
 		st = &sessState{
 			nextSeq:  s.lastApplied(id) + 1,
-			buffered: make(map[uint32]*netsim.Packet),
+			buffered: make(map[uint32]bufferedFrag),
 			reasm:    make(map[uint32]*protocol.Reassembler),
 			retrans:  make(map[uint32]int),
 		}
@@ -189,13 +202,13 @@ func (s *Server) setLastApplied(id uint16, seq uint32) {
 }
 
 func (s *Server) reply(q query, hdr protocol.Header, payload []byte) {
-	s.host.Send(&netsim.Packet{
-		To:      q.from,
-		SrcPort: q.dstPort, // the PMNet port, so devices classify the reply
-		DstPort: q.srcPort,
-		PMNet:   true,
-		Msg:     protocol.Message{Hdr: hdr, Payload: payload},
-	})
+	pkt := s.host.Network().AllocPacket()
+	pkt.To = q.from
+	pkt.SrcPort = q.dstPort // the PMNet port, so devices classify the reply
+	pkt.DstPort = q.srcPort
+	pkt.PMNet = true
+	pkt.Msg = protocol.Message{Hdr: hdr, Payload: payload}
+	s.host.Send(pkt)
 }
 
 func (s *Server) sendServerAck(sessID uint16, q query) {
@@ -277,6 +290,7 @@ func (s *Server) onUpdate(pkt *netsim.Packet) {
 	hdr := pkt.Msg.Hdr
 	st := s.session(hdr.SessionID)
 	st.client = pkt.From
+	frag := bufferedFrag{msg: pkt.Msg, from: pkt.From, srcPort: pkt.SrcPort, dstPort: pkt.DstPort}
 	seq := hdr.SeqNum
 	switch {
 	case seq < st.nextSeq:
@@ -304,7 +318,7 @@ func (s *Server) onUpdate(pkt *netsim.Packet) {
 	case seq == st.nextSeq:
 		delete(st.retrans, seq)
 		st.nextSeq++
-		s.applyInOrder(hdr.SessionID, st, pkt)
+		s.applyInOrder(hdr.SessionID, st, frag)
 		// Drain any buffered successors.
 		for {
 			next, ok := st.buffered[st.nextSeq]
@@ -322,7 +336,7 @@ func (s *Server) onUpdate(pkt *netsim.Packet) {
 			s.stats.Duplicates++
 			return
 		}
-		st.buffered[seq] = pkt
+		st.buffered[seq] = frag
 		s.stats.Buffered++
 		s.armGapCheck(hdr.SessionID, st)
 	}
@@ -376,13 +390,13 @@ func (s *Server) armGapCheck(sessID uint16, st *sessState) {
 				FragTotal: 1,
 			}
 			rh.Seal()
-			s.host.Send(&netsim.Packet{
-				To:      st.client,
-				SrcPort: protocol.PortMin,
-				DstPort: 40000 + sessID,
-				PMNet:   true,
-				Msg:     protocol.Message{Hdr: rh},
-			})
+			pkt := s.host.Network().AllocPacket()
+			pkt.To = st.client
+			pkt.SrcPort = protocol.PortMin
+			pkt.DstPort = 40000 + sessID
+			pkt.PMNet = true
+			pkt.Msg = protocol.Message{Hdr: rh}
+			s.host.Send(pkt)
 		}
 		// Abandon a head-of-line gap that exhausted its retransmissions.
 		for {
@@ -414,15 +428,15 @@ func (s *Server) armGapCheck(sessID uint16, st *sessState) {
 
 // applyInOrder feeds one in-order fragment to reassembly and enqueues the
 // completed query for serial per-session execution.
-func (s *Server) applyInOrder(sessID uint16, st *sessState, pkt *netsim.Packet) {
-	hdr := pkt.Msg.Hdr
+func (s *Server) applyInOrder(sessID uint16, st *sessState, f bufferedFrag) {
+	hdr := f.msg.Hdr
 	firstSeq := hdr.SeqNum - uint32(hdr.FragIdx)
 	r, ok := st.reasm[firstSeq]
 	if !ok {
 		r = protocol.NewReassembler(firstSeq, hdr.FragTotal)
 		st.reasm[firstSeq] = r
 	}
-	payload, err := r.Add(pkt.Msg)
+	payload, err := r.Add(f.msg)
 	if err != nil {
 		return // more fragments to come
 	}
@@ -435,9 +449,9 @@ func (s *Server) applyInOrder(sessID uint16, st *sessState, pkt *netsim.Packet) 
 		firstSeq: firstSeq,
 		lastSeq:  firstSeq + uint32(hdr.FragTotal) - 1,
 		req:      req,
-		from:     pkt.From,
-		srcPort:  pkt.SrcPort,
-		dstPort:  pkt.DstPort,
+		from:     f.from,
+		srcPort:  f.srcPort,
+		dstPort:  f.dstPort,
 	})
 	s.runNext(sessID, st)
 }
@@ -521,12 +535,12 @@ func (s *Server) Recover() {
 	for _, dev := range s.cfg.Devices {
 		hdr := protocol.Header{Type: protocol.TypeRecoverReq, FragTotal: 1}
 		hdr.Seal()
-		s.host.Send(&netsim.Packet{
-			To:      dev,
-			SrcPort: protocol.PortMin,
-			DstPort: protocol.PortMin,
-			PMNet:   true,
-			Msg:     protocol.Message{Hdr: hdr},
-		})
+		pkt := s.host.Network().AllocPacket()
+		pkt.To = dev
+		pkt.SrcPort = protocol.PortMin
+		pkt.DstPort = protocol.PortMin
+		pkt.PMNet = true
+		pkt.Msg = protocol.Message{Hdr: hdr}
+		s.host.Send(pkt)
 	}
 }

@@ -35,7 +35,7 @@ func newSrvRig(t *testing.T, h Handler, cfg Config) *srvRig {
 	rig.server = New(serverHost, h, cfg)
 	rig.peer.OnReceive(func(p *netsim.Packet) {
 		if p.PMNet {
-			rig.recv[p.Msg.Hdr.Type] = append(rig.recv[p.Msg.Hdr.Type], p)
+			rig.recv[p.Msg.Hdr.Type] = append(rig.recv[p.Msg.Hdr.Type], p.Clone())
 		}
 	})
 	return rig

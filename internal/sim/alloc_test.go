@@ -1,0 +1,51 @@
+package sim
+
+// Allocation pin + micro-benchmark for the event engine hot path. The pooled
+// node design promises that once the free list has warmed up, scheduling and
+// running events allocates nothing; the pin turns that promise into a test
+// that fails the build if a change reintroduces per-event garbage.
+
+import (
+	"testing"
+
+	"pmnet/internal/raceflag"
+)
+
+// TestScheduleRunAllocs pins Engine.After + Run to zero steady-state
+// allocations. The first round warms the node pool (and the heap backing
+// array); every subsequent round must recycle.
+func TestScheduleRunAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	e := NewEngine()
+	fn := func() {}
+	round := func() {
+		base := e.Now()
+		for i := 0; i < 64; i++ {
+			e.After(Time(i%8), fn)
+		}
+		e.RunUntil(base + 8)
+	}
+	round() // warm the pool
+	if got := testing.AllocsPerRun(100, round); got != 0 {
+		t.Errorf("After+RunUntil allocated %.1f objects per 64-event round, want 0", got)
+	}
+}
+
+// BenchmarkEngineSchedule measures the schedule→pop→fire cycle: one After
+// plus one Step per iteration, with a standing population of events so the
+// heap has realistic depth.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.After(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(256, fn)
+		e.Step()
+	}
+}

@@ -5,10 +5,16 @@
 // Nothing in the engine sleeps or reads the wall clock, so experiments are
 // bit-reproducible given a seed and immune to host scheduling or GC jitter —
 // the property that makes a faithful data-plane reproduction possible in Go.
+//
+// The engine is built for zero steady-state allocation: pending events live
+// in a concrete 4-ary min-heap of pooled nodes recycled through a per-engine
+// free list, so At/After/Run allocate nothing once the pool has warmed up.
+// The pool is owned by exactly one engine and touched only from its (single)
+// driving goroutine — never a sync.Pool, whose cross-goroutine stealing would
+// make object identity depend on host scheduling.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -34,65 +40,67 @@ func (t Time) Micros() float64 { return float64(t) / 1e3 }
 
 func (t Time) String() string { return t.Duration().String() }
 
-// Event is a scheduled callback. Events with equal times run in the order
-// they were scheduled (FIFO tie-break via sequence numbers) so the engine is
-// fully deterministic.
+// noCancel is the cancelGen sentinel: handle generations start at zero and
+// only ever increase, so no handle can match it.
+const noCancel = ^uint64(0)
+
+// node is one pooled event record. Nodes are recycled through the engine's
+// free list the moment they fire or are cancelled.
+type node struct {
+	at  Time
+	seq uint64
+	fn  func()
+	idx int     // heap index; -1 while free or executing
+	eng *Engine // owner, so Event.Cancel can reach the heap and free list
+	// gen is bumped every time the node is recycled; an Event handle captures
+	// the gen it was issued under, so handles to already-fired (and possibly
+	// reused) nodes become inert instead of cancelling a stranger's event.
+	gen uint64
+	// cancelGen records the handle generation that cancelled this node
+	// (noCancel otherwise), which lets exactly that handle observe
+	// Cancelled() == true even after the node is reused.
+	cancelGen uint64
+}
+
+// Event is a handle to a scheduled callback. Events with equal times run in
+// the order they were scheduled (FIFO tie-break via sequence numbers) so the
+// engine is fully deterministic. The handle is a value: it stays valid —
+// inert, not dangling — after the event fires and its node is recycled.
+// The zero Event refers to nothing; Cancel on it is a no-op.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	idx  int // heap index; -1 once popped or cancelled
-	dead bool
+	n   *node
+	gen uint64
+	at  Time
 }
 
-// Cancel prevents a pending event from running. Cancelling an event that has
-// already fired is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+// Cancel prevents a pending event from running, removing it from the queue
+// immediately (it no longer counts toward Pending). Cancelling an event that
+// has already fired — even if its pooled node has since been reused — is a
+// no-op.
+func (ev Event) Cancel() {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.idx < 0 {
+		return
 	}
+	e := n.eng
+	e.removeAt(n.idx)
+	n.idx = -1
+	n.cancelGen = ev.gen
+	e.release(n)
 }
 
-// Cancelled reports whether the event was cancelled before running.
-func (e *Event) Cancelled() bool { return e != nil && e.dead }
+// Cancelled reports whether this event was cancelled before running.
+func (ev Event) Cancelled() bool { return ev.n != nil && ev.n.cancelGen == ev.gen }
 
 // Time returns the virtual time the event is (or was) scheduled for.
-func (e *Event) Time() Time { return e.at }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
-}
+func (ev Event) Time() Time { return ev.at }
 
 // Engine owns the virtual clock and the pending event queue.
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	heap    []*node // 4-ary min-heap ordered by (at, seq)
+	free    []*node // recycled nodes
 	seq     uint64
 	stopped bool
 	ran     uint64
@@ -110,23 +118,44 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// get pops a recycled node or allocates a fresh one (pool not yet warm).
+func (e *Engine) get() *node {
+	if k := len(e.free) - 1; k >= 0 {
+		n := e.free[k]
+		e.free = e.free[:k]
+		return n
+	}
+	return &node{idx: -1, eng: e, cancelGen: noCancel}
+}
+
+// release returns a node to the free list. Bumping gen first makes every
+// outstanding handle to it inert.
+func (e *Engine) release(n *node) {
+	n.gen++
+	n.fn = nil
+	e.free = append(e.free, n)
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it indicates a model bug, not a recoverable condition.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	n := e.get()
+	n.at = t
+	n.seq = e.seq
+	n.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(n)
+	return Event{n: n, gen: n.gen, at: t}
 }
 
 // After schedules fn to run d nanoseconds from now. Negative delays are
 // clamped to zero (run "immediately", after currently-queued same-time work).
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -146,39 +175,148 @@ func (e *Engine) Run() {
 // events but the queue still has later entries).
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > deadline {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at > deadline {
 			if e.now < deadline {
 				e.now = deadline
 			}
 			return
 		}
-		heap.Pop(&e.queue)
-		if next.dead {
-			continue
-		}
-		e.now = next.at
-		e.ran++
-		next.fn()
+		e.fire(e.popNext())
 	}
 	if !e.stopped && e.now < deadline && deadline < Time(math.MaxInt64) {
 		e.now = deadline
 	}
 }
 
-// Step executes exactly one pending (non-cancelled) event and reports whether
-// one ran.
+// Step executes exactly one pending event and reports whether one ran. It
+// shares popNext/fire with RunUntil so the two paths cannot diverge.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*Event)
-		if next.dead {
-			continue
-		}
-		e.now = next.at
-		e.ran++
-		next.fn()
-		return true
+	n := e.popNext()
+	if n == nil {
+		return false
 	}
-	return false
+	e.fire(n)
+	return true
+}
+
+// popNext removes and returns the earliest pending node, or nil on an empty
+// queue. Cancelled events are removed eagerly by Cancel, so every queued
+// node is live — there is no dead-node skip loop to keep in sync.
+func (e *Engine) popNext() *node {
+	if len(e.heap) == 0 {
+		return nil
+	}
+	return e.popMin()
+}
+
+// fire advances the clock to n and runs its callback. The node is recycled
+// before the callback executes, so the callback may schedule new events that
+// reuse it immediately.
+func (e *Engine) fire(n *node) {
+	e.now = n.at
+	e.ran++
+	fn := n.fn
+	e.release(n)
+	fn()
+}
+
+// 4-ary min-heap over e.heap, ordered by (at, seq) — the same total order as
+// the previous container/heap implementation, without interface boxing. A
+// 4-ary layout halves tree depth versus binary, trading slightly wider
+// sift-down scans for fewer cache-missing levels; idx tracking gives Cancel
+// O(log n) removal.
+
+func nodeLess(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(n *node) {
+	e.heap = append(e.heap, n)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) popMin() *node {
+	h := e.heap
+	n := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	e.heap = h[:last]
+	n.idx = -1
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return n
+}
+
+// removeAt deletes the node at heap index i (used by Cancel). The caller
+// owns the removed node; the vacating substitute is re-sifted both ways,
+// mirroring container/heap.Remove.
+func (e *Engine) removeAt(i int) {
+	h := e.heap
+	last := len(h) - 1
+	if i == last {
+		h[last] = nil
+		e.heap = h[:last]
+		return
+	}
+	h[i] = h[last]
+	h[last] = nil
+	e.heap = h[:last]
+	if !e.siftDown(i) {
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	n := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !nodeLess(n, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].idx = i
+		i = p
+	}
+	h[i] = n
+	n.idx = i
+}
+
+// siftDown restores heap order below i, reporting whether the node moved.
+func (e *Engine) siftDown(i int) bool {
+	h := e.heap
+	n := h[i]
+	start := i
+	sz := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= sz {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > sz {
+			end = sz
+		}
+		for j := c + 1; j < end; j++ {
+			if nodeLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !nodeLess(h[best], n) {
+			break
+		}
+		h[i] = h[best]
+		h[i].idx = i
+		i = best
+	}
+	h[i] = n
+	n.idx = i
+	return i != start
 }

@@ -1,7 +1,7 @@
 package workload
 
 import (
-	"fmt"
+	"strconv"
 
 	"pmnet/internal/protocol"
 	"pmnet/internal/sim"
@@ -49,8 +49,20 @@ func NewYCSB(rand *sim.Rand, cfg YCSBConfig) *YCSB {
 	return y
 }
 
-// Key returns the i-th key in the keyspace (for prefill).
-func YCSBKey(i int) []byte { return []byte(fmt.Sprintf("user%08d", i)) }
+// YCSBKey returns the i-th key in the keyspace (for prefill). It produces
+// exactly fmt.Sprintf("user%08d", i) for non-negative i, formatted by hand:
+// key generation runs once per request on the hot path and Sprintf costs
+// several allocations per call.
+func YCSBKey(i int) []byte {
+	var digits [20]byte
+	n := strconv.AppendInt(digits[:0], int64(i), 10)
+	b := make([]byte, 0, 4+8+len(n))
+	b = append(b, "user"...)
+	for pad := 8 - len(n); pad > 0; pad-- {
+		b = append(b, '0')
+	}
+	return append(b, n...)
+}
 
 func (y *YCSB) nextKey() []byte {
 	var i int
