@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci bench bench-json microbench
+.PHONY: all build test race vet lint ci bench bench-json microbench trace-smoke
 
 all: build test
 
@@ -21,7 +21,20 @@ lint:
 	$(GO) run ./cmd/pmnetlint ./...
 
 # Everything CI runs, in the same order.
-ci: build test race vet lint
+ci: build test race vet lint trace-smoke
+
+# Trace determinism smoke: the pinned scenario's chrome://tracing bytes must
+# match the golden (same bytes TestTraceGoldenSmoke pins), and 8 concurrent
+# identical runs must produce byte-identical traces (pmnetsim -parallel
+# byte-compares them internally and fails loudly on divergence).
+trace-smoke:
+	$(GO) run ./cmd/pmnetsim -workload ideal -clients 1 -requests 5 -seed 7 \
+		-trace /tmp/pmnet_trace_smoke.json >/dev/null
+	diff -q /tmp/pmnet_trace_smoke.json testdata/trace_smoke.json
+	$(GO) run ./cmd/pmnetsim -workload ideal -clients 1 -requests 5 -seed 7 \
+		-trace /tmp/pmnet_trace_smoke.json -parallel 8 >/dev/null
+	diff -q /tmp/pmnet_trace_smoke.json testdata/trace_smoke.json
+	@echo "trace-smoke: golden match + 8-way parallel byte-identical"
 
 # Hot-path micro-benchmarks (allocs/op must stay 0; see the pins in the
 # matching alloc_test.go files). Override BENCHTIME=1x for a CI smoke run.

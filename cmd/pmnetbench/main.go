@@ -63,6 +63,10 @@ type jsonCell struct {
 	MeanUs    float64 `json:"mean_us,omitempty"`
 	P50Us     float64 `json:"p50_us,omitempty"`
 	P99Us     float64 `json:"p99_us,omitempty"`
+	// Counters is the cell's unified metrics registry at quiescence —
+	// every layer's counters under dotted names (encoding/json emits map
+	// keys sorted, so the block is byte-stable across runs).
+	Counters map[string]uint64 `json:"counters,omitempty"`
 }
 
 func toJSON(b *harness.BatchResult) jsonDoc {
@@ -103,6 +107,12 @@ func toJSON(b *harness.BatchResult) jsonDoc {
 				jc.MeanUs = c.Run.Hist.Mean().Micros()
 				jc.P50Us = c.Run.Hist.Percentile(50).Micros()
 				jc.P99Us = c.Run.Hist.Percentile(99).Micros()
+			}
+			if len(c.Counters) > 0 {
+				jc.Counters = make(map[string]uint64, len(c.Counters))
+				for _, s := range c.Counters {
+					jc.Counters[s.Name] = s.Value
+				}
 			}
 			je.Cells = append(je.Cells, jc)
 		}

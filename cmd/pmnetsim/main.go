@@ -7,15 +7,26 @@
 //	pmnetsim [-design client-server|pmnet-switch|pmnet-nic] [-workload btree|...|ideal]
 //	         [-clients N] [-requests N] [-update-ratio F] [-replication K]
 //	         [-cache N] [-bypass-stack] [-crash] [-seed N]
+//	         [-trace out.json] [-parallel N]
+//
+// With -trace, the run records every request-lifecycle event and gauge sample
+// on the virtual clock and writes a chrome://tracing (Perfetto-loadable) JSON
+// file. With -parallel N > 1, N identical copies of the run execute on
+// concurrent goroutines and their trace outputs are byte-compared before one
+// is written — a built-in determinism check: the trace is a pure function of
+// the configuration, never of host scheduling.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"pmnet"
 	"pmnet/internal/harness"
+	"pmnet/internal/trace"
 )
 
 func main() {
@@ -30,6 +41,8 @@ func main() {
 	zipf := flag.Bool("zipf", false, "zipfian key popularity")
 	cross := flag.Float64("cross-traffic", 0, "background traffic toward the server (Gbps)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	traceFile := flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
+	par := flag.Int("parallel", 1, "run N identical copies concurrently and byte-compare their traces")
 	flag.Parse()
 
 	var d pmnet.Design
@@ -49,7 +62,7 @@ func main() {
 		stacks = pmnet.BypassStack
 	}
 
-	res, err := harness.Run(harness.RunConfig{
+	cfg := harness.RunConfig{
 		Design:           d,
 		Workload:         harness.Workload(*wl),
 		Clients:          *clients,
@@ -62,10 +75,71 @@ func main() {
 		Zipfian:          *zipf,
 		CrossTrafficGbps: *cross,
 		Seed:             *seed,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pmnetsim: %v\n", err)
-		os.Exit(1)
+	}
+	if *par < 1 {
+		*par = 1
+	}
+	if *par > 1 && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "pmnetsim: -parallel without -trace has nothing to compare")
+		os.Exit(2)
+	}
+
+	type runOut struct {
+		res   *harness.RunResult
+		json  []byte
+		drops uint64
+		err   error
+	}
+	outs := make([]runOut, *par)
+	var wg sync.WaitGroup
+	for i := range outs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := cfg // identical config; each copy gets its own tracer
+			var tr *trace.Tracer
+			if *traceFile != "" {
+				tr = trace.NewTracer(0)
+				c.Trace = tr
+			}
+			r, err := harness.Run(c)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			outs[i].res = r
+			if tr != nil {
+				outs[i].json = tr.ChromeJSON(r.Bed.NodeName)
+				outs[i].drops = tr.Dropped()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "pmnetsim: %v\n", o.err)
+			os.Exit(1)
+		}
+	}
+	for i := 1; i < len(outs); i++ {
+		if !bytes.Equal(outs[0].json, outs[i].json) {
+			fmt.Fprintf(os.Stderr, "pmnetsim: DETERMINISM VIOLATION: trace of copy %d differs from copy 0 (%d vs %d bytes)\n",
+				i, len(outs[i].json), len(outs[0].json))
+			os.Exit(1)
+		}
+	}
+	res := outs[0].res
+	if *traceFile != "" {
+		if err := os.WriteFile(*traceFile, outs[0].json, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pmnetsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace         %s (%d bytes, %d events dropped)\n",
+			*traceFile, len(outs[0].json), outs[0].drops)
+		if *par > 1 {
+			fmt.Printf("determinism   %d concurrent copies produced byte-identical traces\n", *par)
+		}
 	}
 
 	h := res.Run.Hist

@@ -52,18 +52,6 @@ func runFaultScenario(t *testing.T, sc faultScenario) {
 		LossRate:    sc.lossRate,
 		Timeout:     300 * pmnet.Microsecond,
 	})
-	// Crash hooks must still reach the KV handler through the wrapper.
-	bed.Server.Host() // (hooks were wired for the wrapper, fix below)
-
-	// The checker's wrapper hides the CrashFaultHandler interface, so wire
-	// the hooks explicitly via a crash driver.
-	crashAndRecover := func(downFor pmnet.Time) {
-		kvHandler.Crash()
-		bed.CrashServer()
-		bed.RunFor(downFor)
-		kvHandler.Restart()
-		bed.RecoverServer()
-	}
 
 	for c := 0; c < sc.clients; c++ {
 		c := c
@@ -85,11 +73,15 @@ func runFaultScenario(t *testing.T, sc faultScenario) {
 		issue(0)
 	}
 
-	// Random crash schedule on the virtual clock.
+	// Random crash schedule on the virtual clock. CrashServer/RecoverServer
+	// reach the KV handler's hooks through the checker's wrapper (testbed
+	// probes the handler with server.As, which walks the Unwrap chain).
 	r := sim.NewRand(sc.seed * 31)
 	for i := 0; i < sc.crashes; i++ {
 		bed.RunFor(pmnet.Time(100+r.Intn(400)) * pmnet.Microsecond)
-		crashAndRecover(pmnet.Time(50+r.Intn(200)) * pmnet.Microsecond)
+		bed.CrashServer()
+		bed.RunFor(pmnet.Time(50+r.Intn(200)) * pmnet.Microsecond)
+		bed.RecoverServer()
 	}
 	bed.Run() // quiesce
 
@@ -114,8 +106,51 @@ func runFaultScenario(t *testing.T, sc faultScenario) {
 			t.Errorf("device %d holds %d live entries after quiescence", i, live)
 		}
 	}
-	if err := kvHandler.Engine.(interface{ Verify() error }).Verify(); err != nil {
+	// Probe via the unwrap-aware helper: a future decorated engine must not
+	// silently lose the invariant check.
+	ver, ok := kv.As[interface{ Verify() error }](kvHandler.Engine)
+	if !ok {
+		t.Fatalf("engine does not expose Verify through its wrapper chain")
+	}
+	if err := ver.Verify(); err != nil {
 		t.Errorf("engine invariants broken after faults: %v", err)
+	}
+}
+
+// hookProbe decorates a handler and counts crash/restart deliveries. It
+// implements CrashFaultHandler itself so it can stand in for the KV/Redis
+// handlers in the wrapper regression below.
+type hookProbe struct {
+	pmnet.Handler
+	crashes  int
+	restarts int
+}
+
+func (p *hookProbe) Crash()   { p.crashes++ }
+func (p *hookProbe) Restart() { p.restarts++ }
+
+// TestCrashHooksReachWrappedHandler is the regression for the bug where
+// NewTestbed type-asserted the configured handler to CrashFaultHandler
+// directly: any interposed wrapper (checker.WrapHandler here) made the
+// assertion fail and crash/restart hooks were silently dropped. The testbed
+// now walks the wrapper's Unwrap chain, so the hooks must fire.
+func TestCrashHooksReachWrappedHandler(t *testing.T) {
+	probe := &hookProbe{Handler: pmnet.IdealHandler{}}
+	chk := checker.New()
+	bed := pmnet.NewTestbed(pmnet.Config{
+		Design:  pmnet.PMNetSwitch,
+		Clients: 1,
+		Seed:    7,
+		Handler: chk.WrapHandler(probe),
+	})
+	bed.RunFor(50 * pmnet.Microsecond)
+	bed.CrashServer()
+	bed.RunFor(50 * pmnet.Microsecond)
+	bed.RecoverServer()
+	bed.Run()
+	if probe.crashes != 1 || probe.restarts != 1 {
+		t.Fatalf("hooks lost behind the wrapper: crashes=%d restarts=%d, want 1/1",
+			probe.crashes, probe.restarts)
 	}
 }
 
@@ -144,6 +179,23 @@ func TestFaultInjectionReplicatedChain(t *testing.T) {
 	runFaultScenario(t, faultScenario{
 		name: "replicated", seed: 19, clients: 2, updates: 50, crashes: 2,
 		design: pmnet.PMNetSwitch, repl: 3,
+	})
+}
+
+// The NIC deployment places the PMNet device as a bump-in-the-wire at the
+// server (§IV-A): the log sits one short hop from the crash domain it
+// protects, so the crash/recovery and loss machinery must hold there too.
+func TestFaultInjectionNICCrash(t *testing.T) {
+	runFaultScenario(t, faultScenario{
+		name: "nic-crash", seed: 37, clients: 3, updates: 60, crashes: 1,
+		design: pmnet.PMNetNIC,
+	})
+}
+
+func TestFaultInjectionNICCrashesWithLoss(t *testing.T) {
+	runFaultScenario(t, faultScenario{
+		name: "nic-crashes+loss", seed: 41, clients: 3, updates: 50, crashes: 2,
+		lossRate: 0.02, design: pmnet.PMNetNIC,
 	})
 }
 

@@ -87,18 +87,34 @@ func (c *Checker) Complete(key string) {
 // WrapHandler interposes on the server handler to record every applied PUT.
 // The wrapped handler sees apply events in true execution order (the server
 // library serializes per session).
+//
+// The wrapper implements Unwrap so capability probes (server.As) still find
+// what the inner handler provides — crash/restart hooks, invariant checkers.
+// A closure here once swallowed CrashFaultHandler and silently disabled
+// crash injection for checked runs.
 func (c *Checker) WrapHandler(h server.Handler) server.Handler {
-	return server.HandlerFunc(func(req protocol.Request) (protocol.Response, sim.Time) {
-		resp, cost := h.Handle(req)
-		if req.Op == protocol.OpPut && len(req.Args) >= 2 && resp.Status == protocol.StatusOK {
-			c.applied = append(c.applied, appliedEvent{
-				key:   string(req.Args[0]),
-				value: string(req.Args[1]),
-			})
-		}
-		return resp, cost
-	})
+	return &recordingHandler{c: c, inner: h}
 }
+
+type recordingHandler struct {
+	c     *Checker
+	inner server.Handler
+}
+
+// Handle implements server.Handler.
+func (r *recordingHandler) Handle(req protocol.Request) (protocol.Response, sim.Time) {
+	resp, cost := r.inner.Handle(req)
+	if req.Op == protocol.OpPut && len(req.Args) >= 2 && resp.Status == protocol.StatusOK {
+		r.c.applied = append(r.c.applied, appliedEvent{
+			key:   string(req.Args[0]),
+			value: string(req.Args[1]),
+		})
+	}
+	return resp, cost
+}
+
+// Unwrap exposes the decorated handler to server.As capability probes.
+func (r *recordingHandler) Unwrap() server.Handler { return r.inner }
 
 // AppliedCount returns the number of recorded apply events.
 func (c *Checker) AppliedCount() int { return len(c.applied) }

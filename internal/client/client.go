@@ -11,6 +11,7 @@ import (
 	"pmnet/internal/netsim"
 	"pmnet/internal/protocol"
 	"pmnet/internal/sim"
+	"pmnet/internal/trace"
 )
 
 // Mode selects how updates complete.
@@ -108,6 +109,7 @@ type Session struct {
 	bySeq    map[uint32]*pending
 	freeP    []*pending // recycled request records
 	stats    Stats
+	tracer   *trace.Tracer // picked up from the network at New; nil = off
 	closed   bool
 }
 
@@ -160,6 +162,7 @@ func New(host *netsim.Host, cfg Config) *Session {
 		nextBypSeq: BypassSeqBit | 1,
 		requests:   make(map[uint32]*pending),
 		bySeq:      make(map[uint32]*pending),
+		tracer:     host.Network().Tracer(),
 	}
 	host.OnReceive(s.onPacket)
 	return s
@@ -234,6 +237,14 @@ func (s *Session) issue(typ protocol.Type, payload []byte, isUpdate bool, done f
 		s.bySeq[m.Hdr.SeqNum] = p
 	}
 	s.requests[first] = p
+	if s.tracer != nil {
+		var upd uint64
+		if isUpdate {
+			upd = 1
+		}
+		s.tracer.Emit(trace.EvIssue, trace.SpanID(s.cfg.Session, first), uint64(len(msgs)), upd)
+		s.tracer.Emit(trace.GaugeInFlight, uint64(s.cfg.Session), uint64(len(s.requests)), 0)
+	}
 	s.transmit(p, false)
 	s.armTimer(p)
 }
@@ -274,6 +285,9 @@ func (s *Session) onTimeout(p *pending) {
 		return
 	}
 	s.stats.Resends++
+	if s.tracer != nil {
+		s.tracer.Emit(trace.EvResend, trace.SpanID(s.cfg.Session, p.firstSeq), uint64(p.retries), 0)
+	}
 	s.transmit(p, true)
 	s.armTimer(p)
 }
@@ -294,6 +308,19 @@ func (s *Session) finish(p *pending, res Result) {
 		s.stats.Failed++
 	} else {
 		s.stats.Completed++
+	}
+	if s.tracer != nil {
+		span := trace.SpanID(s.cfg.Session, p.firstSeq)
+		if res.Err != nil {
+			s.tracer.Emit(trace.EvFail, span, uint64(p.retries), 0)
+		} else {
+			var cached uint64
+			if res.FromCache {
+				cached = 1
+			}
+			s.tracer.Emit(trace.EvComplete, span, uint64(p.retries), cached)
+		}
+		s.tracer.Emit(trace.GaugeInFlight, uint64(s.cfg.Session), uint64(len(s.requests)), 0)
 	}
 	// Recycle before the callback: completion handlers typically issue the
 	// next request, which can then reuse this record immediately.

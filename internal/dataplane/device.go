@@ -14,6 +14,7 @@ import (
 	"pmnet/internal/pmem"
 	"pmnet/internal/protocol"
 	"pmnet/internal/sim"
+	"pmnet/internal/trace"
 )
 
 // Config parameterizes a PMNet device.
@@ -88,9 +89,10 @@ type Device struct {
 	// empty after a device restart, which only costs cache warmth).
 	hashKey map[uint32]string
 
-	stats Stats
-	down  bool
-	jobs  []*pipeJob // recycled egress records (per-device)
+	stats  Stats
+	tracer *trace.Tracer // picked up from the network at New; nil = off
+	down   bool
+	jobs   []*pipeJob // recycled egress records (per-device)
 }
 
 // pipeJob is one pooled traversal of the MAT pipeline: a packet waiting out
@@ -165,6 +167,7 @@ func New(net *netsim.Network, id netsim.NodeID, name string, cfg Config) *Device
 		queue:   queue,
 		log:     NewLogTable(dev, queue, cfg.SlotBytes),
 		hashKey: make(map[uint32]string),
+		tracer:  net.Tracer(),
 	}
 	if cfg.CacheEntries > 0 {
 		d.cache = NewCache(cfg.CacheEntries)
@@ -314,6 +317,10 @@ func cacheKeyValue(msg protocol.Message) (key string, value []byte, ok bool) {
 // handleUpdate logs the packet, forwards it to the server, and ACKs the
 // client once the log entry is persistent (Figure 3, steps 2–4).
 func (d *Device) handleUpdate(pkt *netsim.Packet) {
+	if d.tracer != nil {
+		d.tracer.Emit(trace.EvPipeline, uint64(d.id), pkt.ID,
+			trace.SpanID(pkt.Msg.Hdr.SessionID, pkt.Msg.Hdr.SeqNum))
+	}
 	// Egress: the update always continues to the server immediately; the PM
 	// write proceeds in parallel ("While the request is being written to PM,
 	// PMNet forwards it to the destination server").
@@ -325,6 +332,12 @@ func (d *Device) handleUpdate(pkt *netsim.Packet) {
 	srcPort, dstPort := pkt.SrcPort, pkt.DstPort
 	res := d.log.Insert(msg, int(server), &d.stats.Log, func() {
 		d.armEntryTTL(msg.Hdr.HashVal)
+		if d.tracer != nil {
+			span := trace.SpanID(msg.Hdr.SessionID, msg.Hdr.SeqNum)
+			d.tracer.Emit(trace.EvPersist, uint64(d.id), uint64(msg.Hdr.HashVal), span)
+			d.tracer.Emit(trace.EvPMNetAck, uint64(d.id), 0, span)
+			d.emitGauges()
+		}
 		// Persist complete: generate the PMNet-ACK (egress step 6').
 		ack := protocol.Header{
 			Type:      protocol.TypePMNetACK,
@@ -380,6 +393,9 @@ func (d *Device) handleBypass(pkt *netsim.Packet) {
 func (d *Device) handleServerAck(pkt *netsim.Packet) {
 	hash := pkt.Msg.Hdr.HashVal
 	d.log.Invalidate(hash, &d.stats.Log)
+	if d.tracer != nil {
+		d.emitGauges()
+	}
 	if d.cache != nil {
 		if key, ok := d.hashKey[hash]; ok {
 			delete(d.hashKey, hash)
@@ -423,6 +439,14 @@ func (d *Device) handleReadResp(pkt *netsim.Packet) {
 		return
 	}
 	d.net.FreePacket(pkt)
+}
+
+// emitGauges samples the device's occupancy series — log-table live entries
+// and PM dirty lines — at points where they just changed. Both reads are
+// O(1) (kept incrementally) so this is safe on the per-packet path.
+func (d *Device) emitGauges() {
+	d.tracer.Emit(trace.GaugeLogLive, uint64(d.id), uint64(d.log.LiveEntries()), 0)
+	d.tracer.Emit(trace.GaugePMDirty, uint64(d.id), uint64(d.pm.DirtyLines()), 0)
 }
 
 // armEntryTTL schedules the repair timer for a freshly persisted entry: if

@@ -51,6 +51,7 @@ type LogTable struct {
 	queue    *pmem.Queue
 	slotSize int
 	slots    []slotMeta
+	live     int    // count of slotValid entries, kept incrementally
 	scratch  []byte // entry staging buffer (safe to reuse: TryWrite copies synchronously)
 }
 
@@ -87,8 +88,15 @@ func NewLogTable(dev *pmem.Device, queue *pmem.Queue, slotSize int) *LogTable {
 // Slots returns the number of slots in the table.
 func (t *LogTable) Slots() int { return len(t.slots) }
 
-// LiveEntries returns the number of valid (un-reclaimed) entries.
-func (t *LogTable) LiveEntries() int {
+// LiveEntries returns the number of valid (un-reclaimed) entries. Maintained
+// incrementally so the observability gauge can sample it per packet without
+// an O(slots) scan (tables are sized for the bandwidth-delay product, easily
+// tens of thousands of slots).
+func (t *LogTable) LiveEntries() int { return t.live }
+
+// scanLiveEntries recounts by scanning the mirror — the test oracle for the
+// incremental count.
+func (t *LogTable) scanLiveEntries() int {
 	n := 0
 	for _, s := range t.slots {
 		if s.state == slotValid {
@@ -142,6 +150,12 @@ func (t *LogTable) Insert(msg protocol.Message, dst int, stats *LogStats, onPers
 			s.invalidateOnDone = false
 			t.reclaim(idx, stats)
 		default:
+			// A re-logged entry (retransmission racing its own first PM
+			// write) completes twice: count the empty/writing → valid
+			// transition, not the callback.
+			if s.state != slotValid {
+				t.live++
+			}
 			s.state = slotValid
 			if onPersist != nil {
 				onPersist()
@@ -151,6 +165,11 @@ func (t *LogTable) Insert(msg protocol.Message, dst int, stats *LogStats, onPers
 	if !ok {
 		stats.BypassedFull++
 		return insertQueueFull
+	}
+	if s.state == slotValid {
+		// Re-logging over a still-live entry with the same hash (client
+		// retransmission): it leaves the valid set until the rewrite lands.
+		t.live--
 	}
 	s.state = slotWriting
 	s.hash = msg.Hdr.HashVal
@@ -171,6 +190,9 @@ func (t *LogTable) reclaim(idx int, stats *LogStats) {
 	}
 	if err := t.dev.Persist(off, 1); err != nil {
 		panic("dataplane: tombstone persist failed: " + err.Error())
+	}
+	if t.slots[idx].state == slotValid {
+		t.live--
 	}
 	t.slots[idx] = slotMeta{}
 	stats.Invalidated++
@@ -300,6 +322,7 @@ func (t *LogTable) DebugLiveHeaders() []protocol.Header {
 // been dropped (pmem.Queue.PowerFail).
 func (t *LogTable) RebuildIndex() {
 	buf := make([]byte, t.slotSize)
+	t.live = 0
 	for i := range t.slots {
 		t.slots[i] = slotMeta{}
 		if err := t.dev.ReadAt(buf, t.slotOffset(i)); err != nil {
@@ -313,5 +336,6 @@ func (t *LogTable) RebuildIndex() {
 			continue // torn entry: treat as empty
 		}
 		t.slots[i] = slotMeta{state: slotValid, hash: msg.Hdr.HashVal, dst: dst}
+		t.live++
 	}
 }

@@ -154,6 +154,61 @@ func TestLogRebuildIndexFromPM(t *testing.T) {
 	}
 }
 
+// TestLiveEntriesIncrementalMatchesScan pins the incremental live counter
+// to the scan oracle across every lifecycle transition, including the race
+// that once broke it: a retransmission re-logging an entry while its first
+// PM write is still queued leaves TWO persist completions for one slot, and
+// only the empty/writing → valid transition may be counted.
+func TestLiveEntriesIncrementalMatchesScan(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := pmem.NewDevice(pmSlowConfig(16 * 2048))
+	q := pmem.NewQueue(eng, dev, 8192)
+	tab := NewLogTable(dev, q, 2048)
+	var stats LogStats
+	check := func(step string) {
+		t.Helper()
+		if got, want := tab.LiveEntries(), tab.scanLiveEntries(); got != want {
+			t.Fatalf("%s: incremental live=%d, scan=%d", step, got, want)
+		}
+	}
+
+	m1 := mkMsg(1, 1, "one")
+	tab.Insert(m1, 0, &stats, nil)
+	tab.Insert(m1, 0, &stats, nil) // retransmission: second write queued behind the first
+	check("two writes queued")
+	eng.Run() // both completions fire on the same slot
+	check("after double completion")
+	if tab.LiveEntries() != 1 {
+		t.Fatalf("double completion counted twice: live=%d", tab.LiveEntries())
+	}
+
+	// Re-log over the now-valid entry: it leaves the valid set until the
+	// rewrite lands.
+	tab.Insert(m1, 0, &stats, nil)
+	check("re-log over valid entry")
+	eng.Run()
+	check("re-log persisted")
+
+	// Server-ACK racing a queued write reclaims without a valid interlude.
+	m2 := mkMsg(1, 2, "two")
+	tab.Insert(m2, 0, &stats, nil)
+	tab.Invalidate(m2.Hdr.HashVal, &stats)
+	check("ack racing queued write")
+	eng.Run()
+	check("racing ack settled")
+
+	tab.Invalidate(m1.Hdr.HashVal, &stats)
+	check("after invalidate")
+	if tab.LiveEntries() != 0 {
+		t.Fatalf("live=%d after all entries reclaimed", tab.LiveEntries())
+	}
+
+	tab.Insert(m1, 0, &stats, nil)
+	eng.Run()
+	tab.RebuildIndex()
+	check("after rebuild")
+}
+
 func TestLogOversizeRejected(t *testing.T) {
 	tab, _ := newTable(t, 16, 64, 4096)
 	var stats LogStats

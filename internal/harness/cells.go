@@ -15,6 +15,7 @@ import (
 
 	"pmnet/internal/sim"
 	"pmnet/internal/stats"
+	"pmnet/internal/trace"
 	"pmnet/internal/workload"
 )
 
@@ -40,6 +41,7 @@ type CellResult struct {
 	V          any                  // Custom cells: experiment-defined payload
 	VirtualEnd sim.Time             // virtual clock at cell completion
 	Events     uint64               // Cfg cells: simulator events fired (deterministic per seed)
+	Counters   []trace.Snapshot     // Cfg cells: unified metrics registry at quiescence
 	Wall       time.Duration        // real time spent executing the cell
 	Err        error
 }
@@ -71,6 +73,7 @@ func execCell(c Cell) CellResult {
 		out.Driver = res.Driver
 		out.VirtualEnd = res.Bed.Now()
 		out.Events = res.Bed.Engine.EventsRun()
+		out.Counters = res.Bed.Counters().Snapshot()
 	} else {
 		out.V, out.VirtualEnd = c.Custom()
 	}

@@ -15,6 +15,7 @@ import (
 	"pmnet/internal/rediskv"
 	"pmnet/internal/sim"
 	"pmnet/internal/stats"
+	"pmnet/internal/trace"
 	"pmnet/internal/workload"
 )
 
@@ -68,6 +69,9 @@ type RunConfig struct {
 	// CrossTrafficGbps injects background traffic toward the server for the
 	// duration of the run (tail-contention extension experiment).
 	CrossTrafficGbps float64
+	// Trace, when non-nil, is bound to the run's testbed and records the
+	// request-lifecycle event stream (pmnetsim -trace). One tracer per run.
+	Trace *trace.Tracer
 }
 
 func (c *RunConfig) defaults() {
@@ -203,6 +207,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Stacks:           cfg.Stacks,
 		Handler:          handler,
 		CrossTrafficGbps: cfg.CrossTrafficGbps,
+		Trace:            cfg.Trace,
 	})
 	prefill()
 

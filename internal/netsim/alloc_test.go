@@ -10,6 +10,7 @@ import (
 
 	"pmnet/internal/raceflag"
 	"pmnet/internal/sim"
+	"pmnet/internal/trace"
 )
 
 // transmitRig is a two-host wire with a no-op receiver, the minimal topology
@@ -52,6 +53,59 @@ func TestTransmitAllocs(t *testing.T) {
 	rg.round() // warm the pools and the route tables
 	if got := testing.AllocsPerRun(100, rg.round); got != 0 {
 		t.Errorf("Transmit+deliver allocated %.1f objects per packet, want 0", got)
+	}
+}
+
+// TestTransmitTracedAllocs pins the traced packet path: with a bound tracer
+// the journey emits stack/link records into the preallocated ring and must
+// stay allocation-free, same as the untraced path.
+func TestTransmitTracedAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	rg := newTransmitRig()
+	tr := trace.NewTracer(1 << 16)
+	tr.Bind(rg.eng)
+	rg.net.SetTracer(tr)
+	rg.round() // warm pools; ring is preallocated by Bind
+	if got := testing.AllocsPerRun(100, rg.round); got != 0 {
+		t.Errorf("traced Transmit+deliver allocated %.1f objects per packet, want 0", got)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded nothing on the traced path")
+	}
+}
+
+// TestDropPathAllocs pins the drop paths — the packets a crashed server
+// blackholes (dead destination) plus random loss — to zero steady-state
+// allocations, traced and untraced. These paths run hottest exactly when
+// the simulation is least healthy, so they must not start allocating.
+func TestDropPathAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	for _, traced := range []bool{false, true} {
+		name := "untraced"
+		if traced {
+			name = "traced"
+		}
+		t.Run(name, func(t *testing.T) {
+			rg := newTransmitRig()
+			if traced {
+				tr := trace.NewTracer(1 << 16)
+				tr.Bind(rg.eng)
+				rg.net.SetTracer(tr)
+			}
+			rg.round()                  // warm pools over the live path
+			rg.net.SetNodeDown(2, true) // crash the receiver
+			rg.round()                  // warm the drop path
+			if got := testing.AllocsPerRun(100, rg.round); got != 0 {
+				t.Errorf("dead-destination drop allocated %.1f objects per packet, want 0", got)
+			}
+			if s := rg.net.Stats(); s.DroppedDead == 0 {
+				t.Fatal("drop path never taken")
+			}
+		})
 	}
 }
 

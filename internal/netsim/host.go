@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"pmnet/internal/sim"
+	"pmnet/internal/trace"
 )
 
 // StackModel samples per-packet network-stack latency for a host. The
@@ -159,12 +160,24 @@ func (h *Host) crossed(c *crossing) {
 		return
 	}
 	if tx {
+		if tr := h.net.tracer; tr != nil {
+			// Packet ids are normally minted on first Transmit; mint early so
+			// the TX-stack instant and the wire hops share one id. Ids feed
+			// nothing but the trace, so this does not perturb the simulation.
+			if pkt.ID == 0 {
+				pkt.ID = h.net.NewPacketID()
+			}
+			tr.Emit(trace.EvStackTX, uint64(h.id), pkt.ID, 0)
+		}
 		h.net.Transmit(pkt, h.id)
 		return
 	}
 	if h.recv == nil {
 		h.net.FreePacket(pkt)
 		return
+	}
+	if tr := h.net.tracer; tr != nil {
+		tr.Emit(trace.EvStackRX, uint64(h.id), pkt.ID, 0)
 	}
 	h.recv(pkt)
 	h.net.FreePacket(pkt)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pmnet/internal/sim"
+	"pmnet/internal/trace"
 )
 
 // LinkConfig describes one direction of a link.
@@ -27,11 +28,12 @@ func DefaultLink() LinkConfig {
 }
 
 type link struct {
-	cfg     LinkConfig
-	busyAt  sim.Time // when the transmitter frees up
-	queued  int      // bytes awaiting/under serialization
-	dropped uint64
-	sent    uint64
+	cfg      LinkConfig
+	from, to NodeID   // endpoints, for the queue-depth gauge
+	busyAt   sim.Time // when the transmitter frees up
+	queued   int      // bytes awaiting/under serialization
+	dropped  uint64
+	sent     uint64
 }
 
 // Stats aggregates network-wide counters.
@@ -61,6 +63,7 @@ type Network struct {
 	down   map[NodeID]bool              // failed nodes drop all traffic
 	nextID uint64
 	stats  Stats
+	tracer *trace.Tracer // nil = tracing off (the common, zero-cost case)
 
 	// Per-network free lists (single-threaded on the virtual clock, so no
 	// sync.Pool — see DESIGN.md "Hot path & pooling"). txs/arrs/dtxs hold
@@ -116,6 +119,16 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 // Stats returns a copy of the delivery counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// SetTracer attaches the observability tracer. Call before traffic starts;
+// nil (the default) disables tracing with no per-packet cost beyond a
+// predictable branch.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off). Layers built
+// on the network (hosts, devices, clients, servers) pick their tracer up
+// from here so one testbed wire-up covers every layer.
+func (n *Network) Tracer() *trace.Tracer { return n.tracer }
+
 // AddNode attaches a node under the given name. Adding two nodes with the
 // same ID is a topology bug and panics.
 func (n *Network) AddNode(node Node, name string) {
@@ -144,8 +157,8 @@ func (n *Network) Connect(a, b NodeID, cfg LinkConfig) {
 	if _, ok := n.nodes[b]; !ok {
 		panic(fmt.Sprintf("netsim: connect: unknown node %d", b))
 	}
-	n.links[[2]NodeID{a, b}] = &link{cfg: cfg}
-	n.links[[2]NodeID{b, a}] = &link{cfg: cfg}
+	n.links[[2]NodeID{a, b}] = &link{cfg: cfg, from: a, to: b}
+	n.links[[2]NodeID{b, a}] = &link{cfg: cfg, from: b, to: a}
 	n.routes = nil // invalidate; recomputed lazily
 }
 
@@ -276,6 +289,9 @@ func (n *Network) getTxEnd(l *link, size int) *txEnd {
 
 func (n *Network) finishTx(t *txEnd) {
 	t.l.queued -= t.size
+	if n.tracer != nil {
+		n.tracer.Emit(trace.GaugeLinkQueue, trace.LinkID(uint64(t.l.from), uint64(t.l.to)), uint64(t.l.queued), 0)
+	}
 	t.l = nil
 	n.txs = append(n.txs, t)
 }
@@ -336,7 +352,7 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 	}
 	if n.down[from] {
 		n.stats.DroppedDead++
-		n.FreePacket(pkt)
+		n.dropPacket(pkt, from, trace.DropDead)
 		return
 	}
 	if from == pkt.To {
@@ -347,25 +363,25 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 	hop, ok := n.NextHop(from, pkt.To)
 	if !ok {
 		n.stats.DroppedDead++
-		n.FreePacket(pkt)
+		n.dropPacket(pkt, from, trace.DropDead)
 		return
 	}
 	l := n.links[[2]NodeID{from, hop}]
 	if l == nil {
 		n.stats.DroppedDead++
-		n.FreePacket(pkt)
+		n.dropPacket(pkt, from, trace.DropDead)
 		return
 	}
 	size := pkt.Size()
 	if l.cfg.QueueBytes > 0 && l.queued+size > l.cfg.QueueBytes {
 		l.dropped++
 		n.stats.DroppedFull++
-		n.FreePacket(pkt)
+		n.dropPacket(pkt, from, trace.DropFull)
 		return
 	}
 	if l.cfg.LossRate > 0 && n.rand.Float64() < l.cfg.LossRate {
 		n.stats.DroppedRand++
-		n.FreePacket(pkt)
+		n.dropPacket(pkt, from, trace.DropRand)
 		return
 	}
 	var ser sim.Time
@@ -381,20 +397,33 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 	l.busyAt = start + ser
 	txDone := l.busyAt
 	l.sent++
+	if n.tracer != nil {
+		n.tracer.Emit(trace.GaugeLinkQueue, trace.LinkID(uint64(from), uint64(hop)), uint64(l.queued), 0)
+	}
 	n.eng.At(txDone, n.getTxEnd(l, size).fn)
 	n.eng.At(txDone+l.cfg.PropDelay, n.getArrival(pkt, hop).fn)
+}
+
+// dropPacket records the drop into the trace (when tracing is on) and
+// recycles the packet. The pkt.ID must be read before FreePacket zeroes it,
+// which is exactly what makes this a helper rather than two inline lines.
+func (n *Network) dropPacket(pkt *Packet, at NodeID, reason uint64) {
+	if n.tracer != nil {
+		n.tracer.Emit(trace.EvDrop, uint64(at), pkt.ID, reason)
+	}
+	n.FreePacket(pkt)
 }
 
 func (n *Network) deliver(pkt *Packet, at NodeID) {
 	if n.down[at] {
 		n.stats.DroppedDead++
-		n.FreePacket(pkt)
+		n.dropPacket(pkt, at, trace.DropDead)
 		return
 	}
 	node, ok := n.nodes[at]
 	if !ok {
 		n.stats.DroppedDead++
-		n.FreePacket(pkt)
+		n.dropPacket(pkt, at, trace.DropDead)
 		return
 	}
 	if at == pkt.To {

@@ -1,6 +1,9 @@
 package netsim
 
-import "pmnet/internal/sim"
+import (
+	"pmnet/internal/sim"
+	"pmnet/internal/trace"
+)
 
 // Switch is a plain (non-programmable) cut-through switch: it forwards every
 // packet toward its destination after a fixed sub-microsecond pipeline
@@ -38,5 +41,8 @@ func (s *Switch) HandlePacket(pkt *Packet) {
 		return // addressed to the switch itself: sink it
 	}
 	s.seen++
+	if tr := s.net.tracer; tr != nil {
+		tr.Emit(trace.EvSwitchFwd, uint64(s.id), pkt.ID, 0)
+	}
 	s.net.TransmitAfter(s.latency, pkt, s.id)
 }

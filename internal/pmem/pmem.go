@@ -63,11 +63,12 @@ type Stats struct {
 // Device is not safe for concurrent use; in this codebase every device is
 // owned by a single simulated component on the single-threaded virtual clock.
 type Device struct {
-	cfg      Config
-	volatile []byte
-	durable  []byte
-	dirty    []uint64 // bitset, one bit per line
-	stats    Stats
+	cfg        Config
+	volatile   []byte
+	durable    []byte
+	dirty      []uint64 // bitset, one bit per line
+	dirtyLines int      // population count of dirty, kept incrementally
+	stats      Stats
 }
 
 // NewDevice creates a zeroed device. It panics on a non-positive capacity or
@@ -112,7 +113,10 @@ func (d *Device) WriteAt(p []byte, off int) error {
 	}
 	copy(d.volatile[off:], p)
 	for line := off / d.cfg.LineSize; line <= (off+len(p)-1)/d.cfg.LineSize && len(p) > 0; line++ {
-		d.dirty[line>>6] |= 1 << (uint(line) & 63)
+		if bit := uint64(1) << (uint(line) & 63); d.dirty[line>>6]&bit == 0 {
+			d.dirty[line>>6] |= bit
+			d.dirtyLines++
+		}
 	}
 	d.stats.Writes++
 	d.stats.BytesWritten += uint64(len(p))
@@ -146,6 +150,7 @@ func (d *Device) Persist(off, n int) error {
 	for w := first >> 6; w <= last>>6; w++ {
 		word := d.dirty[w] & d.rangeMask(w, first, last)
 		d.dirty[w] &^= word
+		d.dirtyLines -= bits.OnesCount64(word)
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
 			word &= word - 1
@@ -201,6 +206,11 @@ func (d *Device) Persisted(off, n int) bool {
 	return true
 }
 
+// DirtyLines returns how many lines are dirty (written but not yet durable).
+// Kept incrementally so the observability gauge can sample it on the hot
+// path without an O(capacity/line) bitset scan.
+func (d *Device) DirtyLines() int { return d.dirtyLines }
+
 // PowerFail simulates an abrupt power loss: the volatile view reverts to the
 // persistent image and all dirty flags clear. The device remains usable
 // afterwards (intermittent-failure model, §IV-E1).
@@ -209,6 +219,7 @@ func (d *Device) PowerFail() {
 	for i := range d.dirty {
 		d.dirty[i] = 0
 	}
+	d.dirtyLines = 0
 	d.stats.PowerFailures++
 }
 

@@ -3,6 +3,7 @@ package pmem
 import (
 	"bytes"
 	"errors"
+	"math/bits"
 	"testing"
 	"testing/quick"
 
@@ -363,4 +364,55 @@ func TestQuickCrashConsistency(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestDirtyLinesIncrementalMatchesBitset pins the O(1) dirty-line counter to
+// a popcount of the authoritative bitset across writes (including rewrites
+// of already-dirty lines), partial persists, and power failure.
+func TestDirtyLinesIncrementalMatchesBitset(t *testing.T) {
+	d := NewDevice(Config{Capacity: 64 * 256, LineSize: 256})
+	scan := func() int {
+		n := 0
+		for _, w := range d.dirty {
+			n += bits.OnesCount64(w)
+		}
+		return n
+	}
+	check := func(step string) {
+		t.Helper()
+		if got, want := d.DirtyLines(), scan(); got != want {
+			t.Fatalf("%s: DirtyLines=%d, bitset=%d", step, got, want)
+		}
+	}
+	check("clean device")
+	buf := make([]byte, 300)
+	if err := d.WriteAt(buf, 0); err != nil { // spans lines 0-1
+		t.Fatal(err)
+	}
+	check("first write")
+	if d.DirtyLines() != 2 {
+		t.Fatalf("DirtyLines=%d, want 2", d.DirtyLines())
+	}
+	if err := d.WriteAt(buf, 128); err != nil { // re-dirties 0-1
+		t.Fatal(err)
+	}
+	check("overlapping rewrite")
+	if err := d.WriteAt(buf[:10], 40*256); err != nil {
+		t.Fatal(err)
+	}
+	check("distant line")
+	if err := d.Persist(0, 256); err != nil { // clears line 0 only
+		t.Fatal(err)
+	}
+	check("partial persist")
+	d.PersistAll()
+	check("persist all")
+	if d.DirtyLines() != 0 {
+		t.Fatalf("DirtyLines=%d after PersistAll", d.DirtyLines())
+	}
+	if err := d.WriteAt(buf, 1024); err != nil {
+		t.Fatal(err)
+	}
+	d.PowerFail()
+	check("power failure")
 }

@@ -14,6 +14,7 @@ import (
 	"pmnet/internal/pmem"
 	"pmnet/internal/protocol"
 	"pmnet/internal/sim"
+	"pmnet/internal/trace"
 )
 
 // Handler executes application requests. It returns the response and the
@@ -127,7 +128,8 @@ type Server struct {
 	meta    *pmem.Device
 	sess    map[uint16]*sessState
 	stats   Stats
-	gen     uint64 // bumped on crash; stale CPU completions are dropped
+	tracer  *trace.Tracer // picked up from the network at New; nil = off
+	gen     uint64        // bumped on crash; stale CPU completions are dropped
 }
 
 // New binds a server library to host with the given handler.
@@ -148,6 +150,7 @@ func New(host *netsim.Host, handler Handler, cfg Config) *Server {
 		handler: handler,
 		meta:    pmem.NewDevice(pmem.DefaultConfig(cfg.MetaPMBytes)),
 		sess:    make(map[uint16]*sessState),
+		tracer:  host.Network().Tracer(),
 	}
 	host.OnReceive(s.onPacket)
 	return s
@@ -213,6 +216,9 @@ func (s *Server) reply(q query, hdr protocol.Header, payload []byte) {
 
 func (s *Server) sendServerAck(sessID uint16, q query) {
 	for seq := q.firstSeq; seq <= q.lastSeq; seq++ {
+		if s.tracer != nil {
+			s.tracer.Emit(trace.EvServerAck, uint64(s.host.ID()), 0, trace.SpanID(sessID, seq))
+		}
 		hdr := protocol.Header{
 			Type:      protocol.TypeServerACK,
 			SessionID: sessID,
@@ -476,6 +482,9 @@ func (s *Server) runNext(sessID uint16, st *sessState) {
 		// returning); now persist the watermark and acknowledge.
 		s.setLastApplied(sessID, q.lastSeq)
 		s.stats.UpdatesApplied++
+		if s.tracer != nil {
+			s.tracer.Emit(trace.EvServerApply, uint64(s.host.ID()), 0, trace.SpanID(sessID, q.lastSeq))
+		}
 		s.sendServerAck(sessID, q)
 		st.busy = false
 		s.runNext(sessID, st)

@@ -1,0 +1,58 @@
+package trace
+
+import "sort"
+
+// Registry is the unified counter namespace: every layer registers its
+// activity counters under a dotted name ("net.delivered", "dev0.log.logged",
+// "server.updates_applied", ...) as lazy getters, and Snapshot evaluates
+// them all into one sorted list. It replaces ad-hoc spelunking through the
+// scattered per-layer Stats structs when a run needs to be summarized —
+// the structs stay (tests and calibration read them directly), but every
+// consumer that wants "all counters of this run" goes through here.
+type Registry struct {
+	entries []counterEntry
+}
+
+type counterEntry struct {
+	name string
+	get  func() uint64
+}
+
+// Add registers one counter. Names must be unique; a duplicate is a wiring
+// bug and panics at registration time, not at snapshot time.
+func (r *Registry) Add(name string, get func() uint64) {
+	for _, e := range r.entries {
+		if e.name == name {
+			panic("trace: duplicate counter " + name)
+		}
+	}
+	r.entries = append(r.entries, counterEntry{name: name, get: get})
+}
+
+// Snapshot evaluates every counter and returns the values sorted by name —
+// a deterministic serialization order regardless of registration order.
+type Snapshot struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot reads all counters at the current moment.
+func (r *Registry) Snapshot() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	out := make([]Snapshot, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, Snapshot{Name: e.name, Value: e.get()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered counters.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.entries)
+}

@@ -1,0 +1,31 @@
+// Package unwrap implements errors.As-style capability discovery for
+// wrapper chains. Decorators (the checker's recording handler, future
+// logging/metrics shims) wrap an inner value and forward its interface;
+// a plain type assertion on the outermost value then silently loses any
+// capability — CrashFaultHandler, Verify — that only the inner value
+// implements. That exact bug hid the server crash hooks behind
+// checker.WrapHandler. Capability probes must walk the chain instead.
+package unwrap
+
+// maxDepth bounds the walk so a self-returning Unwrap cannot loop forever;
+// real decorator chains are a handful deep.
+const maxDepth = 64
+
+// As reports whether v, or any value reached by repeatedly calling
+// `Unwrap() W`, implements T — returning the first (outermost) match. It is
+// the generic analogue of errors.As: T names the capability sought, W the
+// interface the chain is built from and is inferred from the argument.
+func As[T any, W any](v W) (T, bool) {
+	for i := 0; i < maxDepth; i++ {
+		if t, ok := any(v).(T); ok {
+			return t, true
+		}
+		u, ok := any(v).(interface{ Unwrap() W })
+		if !ok {
+			break
+		}
+		v = u.Unwrap()
+	}
+	var zero T
+	return zero, false
+}

@@ -8,6 +8,7 @@ import (
 	"pmnet/internal/netsim"
 	"pmnet/internal/server"
 	"pmnet/internal/sim"
+	"pmnet/internal/trace"
 )
 
 // Config describes a simulated testbed. The zero value is completed with
@@ -65,6 +66,12 @@ type Config struct {
 	// Stop it with StopBackground once the workload completes (otherwise
 	// the event queue never drains).
 	CrossTrafficGbps float64
+
+	// Trace, when non-nil, records every request-lifecycle event and gauge
+	// sample into the tracer's ring. The tracer is bound to the testbed's
+	// engine by NewTestbed (a tracer serves exactly one testbed); nil keeps
+	// the hot paths on their zero-alloc untraced fast path.
+	Trace *trace.Tracer
 }
 
 // Testbed is a built cluster ready to run on its virtual clock.
@@ -137,6 +144,12 @@ func NewTestbed(cfg Config) *Testbed {
 	eng := sim.NewEngine()
 	root := sim.NewRand(cfg.Seed + 1)
 	net := netsim.New(eng, root.Fork())
+	if cfg.Trace != nil {
+		// Bind before any layer is built: hosts, devices, servers and
+		// sessions cache the network's tracer at construction time.
+		cfg.Trace.Bind(eng)
+		net.SetTracer(cfg.Trace)
+	}
 
 	clientStack := netsim.ClientKernelStack
 	serverStack := netsim.ServerKernelStack
@@ -216,7 +229,9 @@ func NewTestbed(cfg Config) *Testbed {
 	for i, host := range serverHosts {
 		h := cfg.HandlerFactory(i)
 		srvCfg := server.Config{Devices: devIDs}
-		if ch, ok := h.(CrashFaultHandler); ok {
+		// Walk the Unwrap chain: decorators (e.g. checker.WrapHandler) must
+		// not hide the inner handler's crash hooks.
+		if ch, ok := server.As[CrashFaultHandler](h); ok {
 			srvCfg.OnCrash = ch.Crash
 			srvCfg.OnRestart = ch.Restart
 		}
@@ -283,4 +298,101 @@ func (tb *Testbed) StopBackground() {
 	if tb.cross != nil {
 		tb.cross.Stop()
 	}
+}
+
+// NodeName resolves a traced node id to its testbed name ("client-0", "tor",
+// "pmnet-1", ...) — the naming callback for trace.Tracer.ChromeJSON.
+func (tb *Testbed) NodeName(id uint64) string {
+	return tb.Network.Name(netsim.NodeID(id))
+}
+
+// Counters builds the unified metrics registry over every layer of the
+// testbed: the counters previously scattered across netsim/client/server/
+// dataplane Stats structs, plus the live gauges (log occupancy, PM dirty
+// lines) and the event-engine progress counter. Getters are evaluated at
+// Snapshot time, so one registry can be snapshotted repeatedly as the run
+// advances. Client and server counters are summed across sessions/rack
+// members; device counters are per chain position (dev0 is client-adjacent).
+func (tb *Testbed) Counters() *trace.Registry {
+	reg := &trace.Registry{}
+	reg.Add("engine.events", tb.Engine.EventsRun)
+	net := tb.Network
+	reg.Add("net.delivered", func() uint64 { return net.Stats().Delivered })
+	reg.Add("net.dropped_full", func() uint64 { return net.Stats().DroppedFull })
+	reg.Add("net.dropped_rand", func() uint64 { return net.Stats().DroppedRand })
+	reg.Add("net.dropped_dead", func() uint64 { return net.Stats().DroppedDead })
+
+	sessions := tb.Sessions
+	sumClient := func(pick func(client.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, s := range sessions {
+				n += pick(s.Stats())
+			}
+			return n
+		}
+	}
+	reg.Add("client.updates_sent", sumClient(func(s client.Stats) uint64 { return s.UpdatesSent }))
+	reg.Add("client.bypass_sent", sumClient(func(s client.Stats) uint64 { return s.BypassSent }))
+	reg.Add("client.completed", sumClient(func(s client.Stats) uint64 { return s.Completed }))
+	reg.Add("client.failed", sumClient(func(s client.Stats) uint64 { return s.Failed }))
+	reg.Add("client.resends", sumClient(func(s client.Stats) uint64 { return s.Resends }))
+	reg.Add("client.pmnet_acks", sumClient(func(s client.Stats) uint64 { return s.PMNetAcks }))
+	reg.Add("client.server_acks", sumClient(func(s client.Stats) uint64 { return s.ServerAcks }))
+	reg.Add("client.cache_hits", sumClient(func(s client.Stats) uint64 { return s.CacheHits }))
+	reg.Add("client.retrans_served", sumClient(func(s client.Stats) uint64 { return s.RetransServed }))
+
+	servers := tb.Servers
+	sumServer := func(pick func(server.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, s := range servers {
+				n += pick(s.Stats())
+			}
+			return n
+		}
+	}
+	reg.Add("server.updates_applied", sumServer(func(s server.Stats) uint64 { return s.UpdatesApplied }))
+	reg.Add("server.reads_served", sumServer(func(s server.Stats) uint64 { return s.ReadsServed }))
+	reg.Add("server.duplicates", sumServer(func(s server.Stats) uint64 { return s.Duplicates }))
+	reg.Add("server.makeup_acks", sumServer(func(s server.Stats) uint64 { return s.MakeupAcks }))
+	reg.Add("server.retrans_sent", sumServer(func(s server.Stats) uint64 { return s.RetransSent }))
+	reg.Add("server.gaps_abandoned", sumServer(func(s server.Stats) uint64 { return s.GapsAbandoned }))
+	reg.Add("server.buffered", sumServer(func(s server.Stats) uint64 { return s.Buffered }))
+	reg.Add("server.reordered", sumServer(func(s server.Stats) uint64 { return s.Reordered }))
+	reg.Add("server.recoveries", sumServer(func(s server.Stats) uint64 { return s.Recoveries }))
+	reg.Add("server.crashes", sumServer(func(s server.Stats) uint64 { return s.Crashes }))
+
+	for i, d := range tb.Devices {
+		d := d
+		p := fmt.Sprintf("dev%d.", i)
+		reg.Add(p+"acks_sent", func() uint64 { return d.Stats().AcksSent })
+		reg.Add(p+"forwarded", func() uint64 { return d.Stats().Forwarded })
+		reg.Add(p+"retrans_answered", func() uint64 { return d.Stats().RetransAnswered })
+		reg.Add(p+"recovery_resends", func() uint64 { return d.Stats().RecoveryResends })
+		reg.Add(p+"ttl_resends", func() uint64 { return d.Stats().TTLResends })
+		reg.Add(p+"cache_responses", func() uint64 { return d.Stats().CacheResponses })
+		reg.Add(p+"cache.hits", func() uint64 { return d.Stats().Cache.Hits })
+		reg.Add(p+"cache.misses", func() uint64 { return d.Stats().Cache.Misses })
+		reg.Add(p+"cache.fills", func() uint64 { return d.Stats().Cache.Fills })
+		reg.Add(p+"cache.evictions", func() uint64 { return d.Stats().Cache.Evictions })
+		reg.Add(p+"log.logged", func() uint64 { return d.Stats().Log.Logged })
+		reg.Add(p+"log.bypassed_collision", func() uint64 { return d.Stats().Log.BypassedCollision })
+		reg.Add(p+"log.bypassed_full", func() uint64 { return d.Stats().Log.BypassedFull })
+		reg.Add(p+"log.bypassed_oversize", func() uint64 { return d.Stats().Log.BypassedOversize })
+		reg.Add(p+"log.invalidated", func() uint64 { return d.Stats().Log.Invalidated })
+		reg.Add(p+"log.retrans_hits", func() uint64 { return d.Stats().Log.RetransHits })
+		reg.Add(p+"log.retrans_misses", func() uint64 { return d.Stats().Log.RetransMisses })
+		reg.Add(p+"log.live", func() uint64 { return uint64(d.Log().LiveEntries()) })
+		reg.Add(p+"pm.dirty_lines", func() uint64 { return uint64(d.PM().DirtyLines()) })
+		reg.Add(p+"pm.writes", func() uint64 { return d.PM().Stats().Writes })
+		reg.Add(p+"pm.reads", func() uint64 { return d.PM().Stats().Reads })
+		reg.Add(p+"pm.persists", func() uint64 { return d.PM().Stats().Persists })
+	}
+
+	if tr := tb.cfg.Trace; tr != nil {
+		reg.Add("trace.records", func() uint64 { return uint64(tr.Len()) })
+		reg.Add("trace.dropped", tr.Dropped)
+	}
+	return reg
 }
