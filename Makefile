@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci bench bench-json microbench trace-smoke
+.PHONY: all build test race vet lint ci bench bench-json microbench trace-smoke \
+	shard-smoke bench-baseline bench-regression benchdiff
 
 all: build test
 
@@ -21,7 +22,7 @@ lint:
 	$(GO) run ./cmd/pmnetlint ./...
 
 # Everything CI runs, in the same order.
-ci: build test race vet lint trace-smoke
+ci: build test race vet lint trace-smoke shard-smoke
 
 # Trace determinism smoke: the pinned scenario's chrome://tracing bytes must
 # match the golden (same bytes TestTraceGoldenSmoke pins), and 8 concurrent
@@ -50,3 +51,37 @@ bench:
 # Machine-readable form of the same run (schema pmnetbench/v1).
 bench-json:
 	$(GO) run ./cmd/pmnetbench -run all -parallel 0 -json
+
+# Sharded-execution determinism smoke: the conservative-PDES path must render
+# byte-identical output at every shard count (DESIGN.md §10.4). Uses the
+# "scale" experiment (always sharded) so the check stays fast; CI diffs the
+# full suite.
+shard-smoke:
+	$(GO) run ./cmd/pmnetbench -run scale -seed 1 -parallel 1 -shards 1 > /tmp/pmnet_shards1.txt
+	$(GO) run ./cmd/pmnetbench -run scale -seed 1 -parallel 1 -shards 4 > /tmp/pmnet_shards4.txt
+	diff -q /tmp/pmnet_shards1.txt /tmp/pmnet_shards4.txt
+	$(GO) run ./cmd/pmnetsim -workload ideal -clients 8 -requests 50 -seed 7 \
+		-shards 1 -trace /tmp/pmnet_sim_shards1.json >/dev/null
+	$(GO) run ./cmd/pmnetsim -workload ideal -clients 8 -requests 50 -seed 7 \
+		-shards 4 -trace /tmp/pmnet_sim_shards4.json >/dev/null
+	diff -q /tmp/pmnet_sim_shards1.json /tmp/pmnet_sim_shards4.json
+	@echo "shard-smoke: shards 1 vs 4 byte-identical (tables + trace)"
+
+# Regenerate the committed wall-clock baseline (run on a quiet machine, then
+# commit the file so `make bench-regression` and CI have a reference point).
+bench-baseline:
+	$(GO) run ./cmd/pmnetbench -run all -seed 1 -parallel 0 -json > BENCH_baseline.json
+
+# Compare two pmnetbench/v1 documents; exits 1 on a >15% events-per-second
+# regression. Usage: make benchdiff OLD=BENCH_baseline.json NEW=bench.json
+OLD ?= BENCH_baseline.json
+NEW ?= /tmp/pmnet_bench_new.json
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
+# Bench-regression gate: rerun the suite and compare events/sec against the
+# committed baseline. Wall-clock numbers are machine-relative — refresh the
+# baseline (make bench-baseline) when moving to different hardware.
+bench-regression:
+	$(GO) run ./cmd/pmnetbench -run all -seed 1 -parallel 0 -json > $(NEW)
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json $(NEW)

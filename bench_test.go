@@ -86,6 +86,33 @@ func BenchmarkFig16Saturation(b *testing.B) {
 	b.ReportMetric(gbps, "Gbps(line-rate:10)")
 }
 
+// benchShardedSaturation runs a Fig16-class saturation scenario (wide client
+// fan-in, all-update, 1 kB payloads) on the conservative-PDES path at the
+// given shard count. The scenario output is byte-identical at every shard
+// count — the benchmark measures wall clock only, and ns/op across the
+// Sharded* variants is the PDES scaling curve (cmd/benchdiff prints the
+// speedup from the committed BENCH artifacts).
+func benchShardedSaturation(b *testing.B, shards int) {
+	b.Helper()
+	var gbps float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(harness.RunConfig{
+			Design: pmnet.PMNetSwitch, Workload: harness.WLIdeal,
+			Clients: 128, Requests: 150, Warmup: 10, ValueSize: 1000,
+			UpdateRatio: 1, Seed: uint64(i + 1), Shards: shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gbps = res.Run.Throughput() * float64((1000+62)*8) / 1e9
+	}
+	b.ReportMetric(gbps, "Gbps(line-rate:10)")
+}
+
+func BenchmarkShardedSaturation1(b *testing.B) { benchShardedSaturation(b, 1) }
+func BenchmarkShardedSaturation2(b *testing.B) { benchShardedSaturation(b, 2) }
+func BenchmarkShardedSaturation4(b *testing.B) { benchShardedSaturation(b, 4) }
+
 func BenchmarkFig18AltDesigns(b *testing.B) {
 	var m map[string]float64
 	for i := 0; i < b.N; i++ {

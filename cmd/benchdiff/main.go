@@ -1,0 +1,132 @@
+// Command benchdiff compares two pmnetbench JSON documents (schema
+// "pmnetbench/v1") and reports the wall-clock delta between them: batch
+// events-per-second, and per-cell wall time and ns-per-event, matched by
+// (experiment id, cell key).
+//
+// Usage:
+//
+//	benchdiff [-threshold PCT] old.json new.json
+//
+// The exit status makes it a CI gate: benchdiff exits 1 when the new
+// document's batch events-per-second regressed by more than -threshold
+// percent (default 15) against the old one. Virtual-time fields are checked
+// first — if the two documents simulated different event counts for a
+// matched cell, they ran different workloads and the wall-clock comparison
+// is flagged as unreliable (but still printed).
+//
+// The same tool reads speedups: run `pmnetbench -run scale -parallel 1 -json`
+// at -shards 1 and -shards 4, then benchdiff the two files; a speedup of
+// 2.0x prints as a -50% wall / +100% events-per-second delta.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmnet/internal/benchfmt"
+)
+
+func pct(oldV, newV float64) string {
+	if oldV == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}
+
+func nsPerEvent(c benchfmt.Cell) float64 {
+	if c.Events == 0 {
+		return 0
+	}
+	return c.WallMs * 1e6 / float64(c.Events)
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "max tolerated events-per-second regression (percent) before exiting 1")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] old.json new.json")
+		os.Exit(2)
+	}
+	oldDoc, err := benchfmt.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newDoc, err := benchfmt.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("old: %s  (seed %d, parallel %d, shards %d)\n",
+		flag.Arg(0), oldDoc.Seed, oldDoc.Parallel, oldDoc.Shards)
+	fmt.Printf("new: %s  (seed %d, parallel %d, shards %d)\n\n",
+		flag.Arg(1), newDoc.Seed, newDoc.Parallel, newDoc.Shards)
+
+	fmt.Printf("%-24s %14s %14s %10s\n", "batch", "old", "new", "delta")
+	fmt.Printf("%-24s %14.1f %14.1f %10s\n", "wall_ms",
+		oldDoc.WallMs, newDoc.WallMs, pct(oldDoc.WallMs, newDoc.WallMs))
+	fmt.Printf("%-24s %14d %14d %10s\n", "events",
+		oldDoc.Perf.Events, newDoc.Perf.Events,
+		pct(float64(oldDoc.Perf.Events), float64(newDoc.Perf.Events)))
+	fmt.Printf("%-24s %14.0f %14.0f %10s\n", "events_per_sec",
+		oldDoc.Perf.EventsPerSec, newDoc.Perf.EventsPerSec,
+		pct(oldDoc.Perf.EventsPerSec, newDoc.Perf.EventsPerSec))
+	fmt.Printf("%-24s %14.3f %14.3f %10s\n", "allocs_per_event",
+		oldDoc.Perf.AllocsPerEvent, newDoc.Perf.AllocsPerEvent,
+		pct(oldDoc.Perf.AllocsPerEvent, newDoc.Perf.AllocsPerEvent))
+	if oldDoc.Perf.EventsPerSec > 0 {
+		fmt.Printf("%-24s %41.2fx\n", "speedup (new/old)",
+			newDoc.Perf.EventsPerSec/oldDoc.Perf.EventsPerSec)
+	}
+
+	// Per-cell comparison, matched by (experiment id, cell key) in the new
+	// document's order. Cells present in only one document are skipped —
+	// the two runs selected different experiments, which is fine.
+	oldCells := make(map[string]benchfmt.Cell)
+	for _, e := range oldDoc.Experiments {
+		for _, c := range e.Cells {
+			oldCells[e.ID+"/"+c.Key] = c
+		}
+	}
+	workloadMismatch := false
+	header := false
+	for _, e := range newDoc.Experiments {
+		for _, nc := range e.Cells {
+			key := e.ID + "/" + nc.Key
+			oc, ok := oldCells[key]
+			if !ok {
+				continue
+			}
+			if !header {
+				fmt.Printf("\n%-24s %14s %14s %10s\n",
+					"cell (ns/event)", "old", "new", "delta")
+				header = true
+			}
+			mark := ""
+			if oc.Events != nc.Events {
+				workloadMismatch = true
+				mark = "  [!] event counts differ: different workload"
+			}
+			fmt.Printf("%-24s %14.1f %14.1f %10s%s\n",
+				key, nsPerEvent(oc), nsPerEvent(nc),
+				pct(nsPerEvent(oc), nsPerEvent(nc)), mark)
+		}
+	}
+	if workloadMismatch {
+		fmt.Println("\n[!] some matched cells simulated different event counts; their")
+		fmt.Println("    wall-clock deltas compare different workloads, not performance.")
+	}
+
+	if oldDoc.Perf.EventsPerSec > 0 {
+		reg := (oldDoc.Perf.EventsPerSec - newDoc.Perf.EventsPerSec) /
+			oldDoc.Perf.EventsPerSec * 100
+		if reg > *threshold {
+			fmt.Printf("\nFAIL: events_per_sec regressed %.1f%% (threshold %.1f%%)\n",
+				reg, *threshold)
+			os.Exit(1)
+		}
+		fmt.Printf("\nOK: events_per_sec within %.1f%% threshold\n", *threshold)
+	}
+}

@@ -3,14 +3,20 @@
 //
 // Usage:
 //
-//	pmnetbench [-run all|fig2|fig15|fig16|fig18|fig19|fig20|fig21|fig22|recovery|tpcclock] [-seed N] [-parallel N] [-format table|csv|json]
+//	pmnetbench [-run all|fig2|fig15|fig16|fig18|fig19|fig20|fig21|fig22|recovery|tpcclock|scale] [-seed N] [-parallel N] [-shards N] [-format table|csv|json]
 //
 // Each experiment prints the rows the corresponding figure plots, plus notes
 // comparing the measured shape against the paper's reported numbers.
 // Experiment cells are independent simulations; -parallel N executes them on a
 // worker pool of that size (0 = GOMAXPROCS) with output byte-identical to
-// -parallel 1. -json (or -format json) emits the machine-readable form with
-// per-cell virtual-time stats and real wall-clock timings.
+// -parallel 1. -shards N runs every cell's testbed on the conservative-PDES
+// path (internal/sim/pdes) with N engine shards; output is byte-identical for
+// every N ≥ 1, so the flag is purely a wall-clock knob — pair it with
+// -parallel 1, since intra-cell and inter-cell parallelism compete for the
+// same cores. -json (or -format json) emits the machine-readable form with
+// per-cell virtual-time stats and real wall-clock timings; cmd/benchdiff
+// compares two such documents. -cpuprofile/-memprofile write runtime/pprof
+// profiles of the batch.
 package main
 
 import (
@@ -20,106 +26,10 @@ import (
 	"os"
 	"strings"
 
+	"pmnet/internal/benchfmt"
 	"pmnet/internal/harness"
+	"pmnet/internal/prof"
 )
-
-// The JSON document: schema "pmnetbench/v1".
-type jsonDoc struct {
-	Schema      string           `json:"schema"`
-	Seed        uint64           `json:"seed"`
-	Parallel    int              `json:"parallel"`
-	WallMs      float64          `json:"wall_ms"`
-	Perf        jsonPerf         `json:"perf"`
-	Experiments []jsonExperiment `json:"experiments"`
-}
-
-// jsonPerf is the batch-level perf trajectory (BENCH artifacts). Events is
-// deterministic per seed; the rates and allocation counts are wall-clock-class
-// fields that vary run to run.
-type jsonPerf struct {
-	Events         uint64  `json:"events"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	Allocs         uint64  `json:"allocs"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
-}
-
-type jsonExperiment struct {
-	ID      string             `json:"id"`
-	Title   string             `json:"title"`
-	Columns []string           `json:"columns"`
-	Rows    [][]string         `json:"rows"`
-	Notes   []string           `json:"notes"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-	WallMs  float64            `json:"wall_ms"`
-	Cells   []jsonCell         `json:"cells"`
-}
-
-type jsonCell struct {
-	Key       string  `json:"key"`
-	WallMs    float64 `json:"wall_ms"`
-	VirtualUs float64 `json:"virtual_us"`
-	Events    uint64  `json:"events,omitempty"`
-	Requests  uint64  `json:"requests,omitempty"`
-	MeanUs    float64 `json:"mean_us,omitempty"`
-	P50Us     float64 `json:"p50_us,omitempty"`
-	P99Us     float64 `json:"p99_us,omitempty"`
-	// Counters is the cell's unified metrics registry at quiescence —
-	// every layer's counters under dotted names (encoding/json emits map
-	// keys sorted, so the block is byte-stable across runs).
-	Counters map[string]uint64 `json:"counters,omitempty"`
-}
-
-func toJSON(b *harness.BatchResult) jsonDoc {
-	doc := jsonDoc{
-		Schema:   "pmnetbench/v1",
-		Seed:     b.Seed,
-		Parallel: b.Parallel,
-		WallMs:   float64(b.Wall.Microseconds()) / 1e3,
-		Perf: jsonPerf{
-			Events:         b.Perf.Events,
-			EventsPerSec:   b.Perf.EventsPerSec,
-			Allocs:         b.Perf.Allocs,
-			AllocsPerEvent: b.Perf.AllocsPerEvent,
-		},
-	}
-	for _, er := range b.Experiments {
-		je := jsonExperiment{
-			ID:      er.ID,
-			Title:   er.Table.Title,
-			Columns: er.Table.Columns,
-			Rows:    er.Table.Rows,
-			Notes:   er.Notes,
-			Metrics: er.Metrics,
-			WallMs:  float64(er.Wall.Microseconds()) / 1e3,
-		}
-		if je.Notes == nil {
-			je.Notes = []string{}
-		}
-		for _, c := range er.Cells {
-			jc := jsonCell{
-				Key:       c.Key,
-				WallMs:    float64(c.Wall.Microseconds()) / 1e3,
-				VirtualUs: c.VirtualEnd.Micros(),
-				Events:    c.Events,
-			}
-			if c.Run != nil && c.Run.Requests > 0 {
-				jc.Requests = c.Run.Requests
-				jc.MeanUs = c.Run.Hist.Mean().Micros()
-				jc.P50Us = c.Run.Hist.Percentile(50).Micros()
-				jc.P99Us = c.Run.Hist.Percentile(99).Micros()
-			}
-			if len(c.Counters) > 0 {
-				jc.Counters = make(map[string]uint64, len(c.Counters))
-				for _, s := range c.Counters {
-					jc.Counters[s.Name] = s.Value
-				}
-			}
-			je.Cells = append(je.Cells, jc)
-		}
-		doc.Experiments = append(doc.Experiments, je)
-	}
-	return doc
-}
 
 func main() {
 	run := flag.String("run", "all", "experiment id or 'all'")
@@ -128,6 +38,9 @@ func main() {
 	format := flag.String("format", "table", "output format: table | csv | json")
 	parallel := flag.Int("parallel", 0, "cell worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "shorthand for -format json")
+	shards := flag.Int("shards", 0, "run every cell on the conservative-PDES path with N engine shards (output byte-identical for every N >= 1; combine with -parallel 1 to avoid oversubscription)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -153,8 +66,18 @@ func main() {
 		}
 	}
 
-	batch, err := harness.RunExperiments(ids, harness.Options{Seed: *seed, Parallel: *parallel})
+	stopProfiles, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmnetbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	batch, err := harness.RunExperiments(ids, harness.Options{Seed: *seed, Parallel: *parallel, Shards: *shards})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmnetbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "pmnetbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -163,7 +86,7 @@ func main() {
 	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(toJSON(batch)); err != nil {
+		if err := enc.Encode(benchfmt.FromBatch(batch)); err != nil {
 			fmt.Fprintf(os.Stderr, "pmnetbench: %v\n", err)
 			os.Exit(1)
 		}

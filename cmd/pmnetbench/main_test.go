@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pmnet/internal/benchfmt"
+	"pmnet/internal/harness"
+)
+
+// normalize zeroes the wall-clock-class fields of a document — everything
+// that legitimately varies run to run or with the shard count. What remains
+// (tables, notes, metrics, per-cell virtual time, events, latency
+// percentiles, counters) is pure virtual-time output and must be
+// byte-identical across shard counts.
+func normalize(d benchfmt.Doc) benchfmt.Doc {
+	d.Shards = 0
+	d.WallMs = 0
+	d.Perf.EventsPerSec = 0
+	d.Perf.Allocs = 0
+	d.Perf.AllocsPerEvent = 0
+	for i := range d.Experiments {
+		d.Experiments[i].WallMs = 0
+		for j := range d.Experiments[i].Cells {
+			d.Experiments[i].Cells[j].WallMs = 0
+		}
+	}
+	return d
+}
+
+// TestShardCountInvariantOutput pins the tentpole guarantee at the binary's
+// output layer: the JSON document (after wall-clock normalization) and the
+// raw CSV rendering are byte-identical at -shards 1 and -shards N.
+func TestShardCountInvariantOutput(t *testing.T) {
+	ids := []string{"fig2", "scale"}
+	run := func(shards int) (*harness.BatchResult, benchfmt.Doc) {
+		b, err := harness.RunExperiments(ids, harness.Options{
+			Seed: 3, Parallel: 1, Shards: shards,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return b, normalize(benchfmt.FromBatch(b))
+	}
+
+	baseBatch, baseDoc := run(1)
+	baseJSON, err := json.MarshalIndent(baseDoc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseCSV bytes.Buffer
+	for _, er := range baseBatch.Experiments {
+		baseCSV.WriteString(er.Table.CSV())
+	}
+
+	for _, shards := range []int{2, 4} {
+		batch, doc := run(shards)
+		gotJSON, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(baseJSON, gotJSON) {
+			t.Errorf("shards=%d: normalized JSON differs from shards=1 (%d vs %d bytes)",
+				shards, len(gotJSON), len(baseJSON))
+		}
+		var gotCSV bytes.Buffer
+		for _, er := range batch.Experiments {
+			gotCSV.WriteString(er.Table.CSV())
+		}
+		if !bytes.Equal(baseCSV.Bytes(), gotCSV.Bytes()) {
+			t.Errorf("shards=%d: CSV rendering differs from shards=1", shards)
+		}
+	}
+}

@@ -7,14 +7,18 @@
 //	pmnetsim [-design client-server|pmnet-switch|pmnet-nic] [-workload btree|...|ideal]
 //	         [-clients N] [-requests N] [-update-ratio F] [-replication K]
 //	         [-cache N] [-bypass-stack] [-crash] [-seed N]
-//	         [-trace out.json] [-parallel N]
+//	         [-trace out.json] [-parallel N] [-shards N]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -trace, the run records every request-lifecycle event and gauge sample
 // on the virtual clock and writes a chrome://tracing (Perfetto-loadable) JSON
 // file. With -parallel N > 1, N identical copies of the run execute on
 // concurrent goroutines and their trace outputs are byte-compared before one
 // is written — a built-in determinism check: the trace is a pure function of
-// the configuration, never of host scheduling.
+// the configuration, never of host scheduling. With -shards N, the testbed
+// runs on the conservative-PDES path (internal/sim/pdes) with N engine
+// shards; all output, including the trace bytes, is identical for every
+// N ≥ 1. -cpuprofile/-memprofile write runtime/pprof profiles of the run.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"pmnet"
 	"pmnet/internal/harness"
+	"pmnet/internal/prof"
 	"pmnet/internal/trace"
 )
 
@@ -43,6 +48,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	traceFile := flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
 	par := flag.Int("parallel", 1, "run N identical copies concurrently and byte-compare their traces")
+	shards := flag.Int("shards", 0, "run the testbed on the conservative-PDES path with N engine shards (output identical for every N >= 1)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	var d pmnet.Design
@@ -75,6 +83,7 @@ func main() {
 		Zipfian:          *zipf,
 		CrossTrafficGbps: *cross,
 		Seed:             *seed,
+		Shards:           *shards,
 	}
 	if *par < 1 {
 		*par = 1
@@ -82,6 +91,12 @@ func main() {
 	if *par > 1 && *traceFile == "" {
 		fmt.Fprintln(os.Stderr, "pmnetsim: -parallel without -trace has nothing to compare")
 		os.Exit(2)
+	}
+
+	stopProfiles, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmnetsim: %v\n", err)
+		os.Exit(1)
 	}
 
 	type runOut struct {
@@ -116,6 +131,10 @@ func main() {
 		}()
 	}
 	wg.Wait()
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "pmnetsim: %v\n", err)
+		os.Exit(1)
+	}
 	for _, o := range outs {
 		if o.err != nil {
 			fmt.Fprintf(os.Stderr, "pmnetsim: %v\n", o.err)
@@ -169,7 +188,10 @@ func main() {
 	srv := res.Bed.Server.Stats()
 	fmt.Printf("server        applied=%d reads=%d dup=%d retrans=%d reordered=%d\n",
 		srv.UpdatesApplied, srv.ReadsServed, srv.Duplicates, srv.RetransSent, srv.Reordered)
-	net := res.Bed.Network.Stats()
+	net := res.Bed.NetworkStats()
 	fmt.Printf("network       delivered=%d drops(full/rand/dead)=%d/%d/%d\n",
 		net.Delivered, net.DroppedFull, net.DroppedRand, net.DroppedDead)
+	if res.Bed.Sharded() {
+		fmt.Printf("sharding      %d shards\n", res.Bed.Shards())
+	}
 }

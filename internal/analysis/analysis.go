@@ -77,6 +77,7 @@ var Analyzers = []*Analyzer{
 	MaprangeAnalyzer,
 	PersistcoverAnalyzer,
 	SyncpoolAnalyzer,
+	SharedstateAnalyzer,
 }
 
 func byName(name string) *Analyzer {

@@ -90,6 +90,7 @@ func TestRandsourceFixture(t *testing.T)   { checkFixture(t, RandsourceAnalyzer,
 func TestMaprangeFixture(t *testing.T)     { checkFixture(t, MaprangeAnalyzer, "maprange") }
 func TestPersistcoverFixture(t *testing.T) { checkFixture(t, PersistcoverAnalyzer, "persistcover") }
 func TestSyncpoolFixture(t *testing.T)     { checkFixture(t, SyncpoolAnalyzer, "syncpool") }
+func TestSharedstateFixture(t *testing.T)  { checkFixture(t, SharedstateAnalyzer, "sharedstate") }
 
 // TestDirectiveValidation: a malformed or unknown-analyzer directive is
 // itself a finding and does not suppress the finding beneath it.
@@ -154,6 +155,13 @@ func TestScopes(t *testing.T) {
 		{SyncpoolAnalyzer, "pmnet/internal/harness", true},
 		{SyncpoolAnalyzer, "pmnet/internal/analysis", false},
 		{SyncpoolAnalyzer, "pmnet/cmd/pmnetbench", false},
+		{SharedstateAnalyzer, "pmnet/internal/sim", true},
+		{SharedstateAnalyzer, "pmnet/internal/netsim", true},
+		{SharedstateAnalyzer, "pmnet/internal/server", true},
+		{SharedstateAnalyzer, "pmnet/internal/harness", false},
+		{SharedstateAnalyzer, "pmnet/internal/sim/pdes", false},
+		{SharedstateAnalyzer, "pmnet/internal/analysis", false},
+		{SharedstateAnalyzer, "pmnet/cmd/pmnetsim", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(mod, c.pkg); got != c.want {

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedstateAnalyzer forbids host-concurrency idioms — `go` statements and
+// any use of sync / sync/atomic — in model code. The sharded scheduler
+// (internal/sim/pdes) gives each partition its own single-threaded engine and
+// moves every cross-partition interaction through the fabric's handoff
+// queues, drained only at epoch barriers; that is the whole determinism
+// argument (DESIGN.md §10.4). A goroutine or a mutex-guarded shared variable
+// inside a model lets two partitions observe each other mid-epoch in host
+// scheduling order, which shows up as traces that differ run to run only at
+// -shards > 1 — the worst kind of bug to bisect. The two layers whose job IS
+// host parallelism (the cell worker pool in internal/harness and the PDES
+// scheduler itself) are exempt; everything else communicates by scheduling
+// events.
+var SharedstateAnalyzer = &Analyzer{
+	Name: "sharedstate",
+	Doc:  "forbid goroutines and sync/atomic in model code; cross-shard state moves through fabric handoff queues",
+	Scope: func(modulePath, pkgPath string) bool {
+		if !modelCode(modulePath, pkgPath) {
+			return false
+		}
+		switch pkgPath {
+		case modulePath + "/internal/harness", modulePath + "/internal/sim/pdes":
+			return false
+		}
+		return true
+	},
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(),
+						"go statement in model code: shards are single-threaded engines; schedule an event or hand off through the fabric instead")
+				case *ast.SelectorExpr:
+					ident, ok := n.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pn, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+					if !ok {
+						return true
+					}
+					switch pn.Imported().Path() {
+					case "sync", "sync/atomic":
+						pass.Reportf(n.Pos(),
+							"%s.%s in model code: shared mutable state across shards breaks epoch determinism; move the data through a fabric handoff queue", ident.Name, n.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	},
+}

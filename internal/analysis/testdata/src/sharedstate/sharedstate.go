@@ -1,0 +1,75 @@
+// Fixture for the sharedstate analyzer: host-concurrency idioms that would
+// let two PDES shards observe each other mid-epoch.
+package sharedstate
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A mutex-guarded shared counter: classic cross-shard shared memory.
+var (
+	mu      sync.Mutex    // want "sync.Mutex in model code"
+	applied int
+	seq     atomic.Uint64 // want "atomic.Uint64 in model code"
+)
+
+func recordApply() {
+	mu.Lock()
+	applied++
+	mu.Unlock()
+}
+
+func nextSeq() uint64 {
+	return seq.Add(1)
+}
+
+// Fanning work out to goroutines inside a model: the results arrive in host
+// scheduling order.
+func deliverAll(fns []func()) {
+	var wg sync.WaitGroup // want "sync.WaitGroup in model code"
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) { // want "go statement in model code"
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// A bare goroutine used as a "background" poller.
+func watch(stop chan struct{}, poll func()) {
+	go func() { // want "go statement in model code"
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				poll()
+			}
+		}
+	}()
+}
+
+// atomic.AddUint64 on a plain field: same shared-memory idiom, older API.
+var delivered uint64
+
+func bump() {
+	atomic.AddUint64(&delivered, 1) // want "shared mutable state across shards"
+}
+
+// Deterministic single-threaded code passes: plain fields, sorted iteration,
+// no goroutines.
+func ok(xs []int) int {
+	sort.Ints(xs)
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// A suppressed finding still needs a directive naming the analyzer.
+var once sync.Once //pmnetlint:ignore sharedstate init-order shim retained for a legacy example

@@ -1,0 +1,141 @@
+// Package benchfmt defines the machine-readable benchmark document shared by
+// cmd/pmnetbench (writer) and cmd/benchdiff (reader): schema "pmnetbench/v1".
+//
+// The document splits cleanly into two kinds of fields. Virtual-time fields
+// (events, requests, latency percentiles, counters) are deterministic per
+// seed and byte-identical across -parallel and -shards settings; benchdiff
+// treats a mismatch there as "not the same workload". Wall-clock-class fields
+// (wall_ms, events_per_sec, allocs) vary run to run and machine to machine;
+// they are what benchdiff actually compares.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pmnet/internal/harness"
+)
+
+// Schema is the document identifier checked by readers.
+const Schema = "pmnetbench/v1"
+
+// Doc is one pmnetbench batch: the experiments it ran plus the batch-level
+// perf trajectory.
+type Doc struct {
+	Schema      string       `json:"schema"`
+	Seed        uint64       `json:"seed"`
+	Parallel    int          `json:"parallel"`
+	Shards      int          `json:"shards,omitempty"`
+	WallMs      float64      `json:"wall_ms"`
+	Perf        Perf         `json:"perf"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Perf is the batch-level perf trajectory (BENCH artifacts). Events is
+// deterministic per seed; the rates and allocation counts are
+// wall-clock-class fields that vary run to run.
+type Perf struct {
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// Experiment is one regenerated figure/table with per-cell timings.
+type Experiment struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Columns []string           `json:"columns"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	WallMs  float64            `json:"wall_ms"`
+	Cells   []Cell             `json:"cells"`
+}
+
+// Cell is one independent simulation within an experiment.
+type Cell struct {
+	Key       string  `json:"key"`
+	WallMs    float64 `json:"wall_ms"`
+	VirtualUs float64 `json:"virtual_us"`
+	Events    uint64  `json:"events,omitempty"`
+	Requests  uint64  `json:"requests,omitempty"`
+	MeanUs    float64 `json:"mean_us,omitempty"`
+	P50Us     float64 `json:"p50_us,omitempty"`
+	P99Us     float64 `json:"p99_us,omitempty"`
+	// Counters is the cell's unified metrics registry at quiescence —
+	// every layer's counters under dotted names (encoding/json emits map
+	// keys sorted, so the block is byte-stable across runs).
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// FromBatch converts a harness batch into the v1 document.
+func FromBatch(b *harness.BatchResult) Doc {
+	doc := Doc{
+		Schema:   Schema,
+		Seed:     b.Seed,
+		Parallel: b.Parallel,
+		Shards:   b.Shards,
+		WallMs:   float64(b.Wall.Microseconds()) / 1e3,
+		Perf: Perf{
+			Events:         b.Perf.Events,
+			EventsPerSec:   b.Perf.EventsPerSec,
+			Allocs:         b.Perf.Allocs,
+			AllocsPerEvent: b.Perf.AllocsPerEvent,
+		},
+	}
+	for _, er := range b.Experiments {
+		je := Experiment{
+			ID:      er.ID,
+			Title:   er.Table.Title,
+			Columns: er.Table.Columns,
+			Rows:    er.Table.Rows,
+			Notes:   er.Notes,
+			Metrics: er.Metrics,
+			WallMs:  float64(er.Wall.Microseconds()) / 1e3,
+		}
+		if je.Notes == nil {
+			je.Notes = []string{}
+		}
+		for _, c := range er.Cells {
+			jc := Cell{
+				Key:       c.Key,
+				WallMs:    float64(c.Wall.Microseconds()) / 1e3,
+				VirtualUs: c.VirtualEnd.Micros(),
+				Events:    c.Events,
+			}
+			if c.Run != nil && c.Run.Requests > 0 {
+				jc.Requests = c.Run.Requests
+				jc.MeanUs = c.Run.Hist.Mean().Micros()
+				jc.P50Us = c.Run.Hist.Percentile(50).Micros()
+				jc.P99Us = c.Run.Hist.Percentile(99).Micros()
+			}
+			if len(c.Counters) > 0 {
+				jc.Counters = make(map[string]uint64, len(c.Counters))
+				for _, s := range c.Counters {
+					jc.Counters[s.Name] = s.Value
+				}
+			}
+			je.Cells = append(je.Cells, jc)
+		}
+		doc.Experiments = append(doc.Experiments, je)
+	}
+	return doc
+}
+
+// ReadFile loads and validates a v1 document.
+func ReadFile(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, Schema)
+	}
+	return &doc, nil
+}

@@ -72,7 +72,7 @@ func execCell(c Cell) CellResult {
 		out.Run = res.Run
 		out.Driver = res.Driver
 		out.VirtualEnd = res.Bed.Now()
-		out.Events = res.Bed.Engine.EventsRun()
+		out.Events = res.Bed.EventsRun()
 		out.Counters = res.Bed.Counters().Snapshot()
 	} else {
 		out.V, out.VirtualEnd = c.Custom()

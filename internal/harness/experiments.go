@@ -44,6 +44,7 @@ var Specs = map[string]*Spec{
 	"recovery": {ID: "recovery", Enumerate: recoveryCells, Render: recoveryRender},
 	"tpcclock": {ID: "tpcclock", Enumerate: tpcclockCells, Render: tpcclockRender},
 	"tail":     {ID: "tail", Enumerate: tailCells, Render: tailRender},
+	"scale":    {ID: "scale", Enumerate: scaleCells, Render: scaleRender},
 }
 
 // fig19Spec parameterizes the Figure 19 sweep; the registered experiment
@@ -74,12 +75,13 @@ var Experiments = map[string]func(seed uint64) Result{
 	"tpcclock": TPCCLockStats,
 	"tail":     TailContention,
 	"fig20cdf": Fig20FullCDF,
+	"scale":    ScaleSharded,
 }
 
 // ExperimentOrder lists experiments in the paper's presentation order.
 var ExperimentOrder = []string{
 	"fig2", "fig15", "fig16", "fig18", "fig19", "fig20", "fig20cdf", "fig21",
-	"fig22", "recovery", "tpcclock", "tail",
+	"fig22", "recovery", "tpcclock", "tail", "scale",
 }
 
 // Fig2Breakdown reproduces Figure 2 (see fig2Render).
@@ -122,3 +124,6 @@ func TPCCLockStats(seed uint64) Result { return RunSpec(Specs["tpcclock"], seed,
 
 // TailContention runs the server-contention extension (see tailRender).
 func TailContention(seed uint64) Result { return RunSpec(Specs["tail"], seed, 1) }
+
+// ScaleSharded runs the sharded saturation sweep (see scaleRender).
+func ScaleSharded(seed uint64) Result { return RunSpec(Specs["scale"], seed, 1) }

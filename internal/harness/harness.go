@@ -72,6 +72,10 @@ type RunConfig struct {
 	// Trace, when non-nil, is bound to the run's testbed and records the
 	// request-lifecycle event stream (pmnetsim -trace). One tracer per run.
 	Trace *trace.Tracer
+	// Shards > 0 runs the testbed on the conservative-PDES path with this
+	// many engine shards (pmnet.Config.Shards). Results are byte-identical
+	// for every Shards ≥ 1; 0 keeps the classic single-engine path.
+	Shards int
 }
 
 func (c *RunConfig) defaults() {
@@ -208,8 +212,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Handler:          handler,
 		CrossTrafficGbps: cfg.CrossTrafficGbps,
 		Trace:            cfg.Trace,
+		Shards:           cfg.Shards,
 	})
 	prefill()
+	if bed.Sharded() {
+		// The sharded testbed drives clients on different engines (and worker
+		// goroutines), so the single-threaded closure wiring below would race;
+		// the sharded driver keeps per-client state and merges afterwards.
+		return runSharded(&cfg, bed)
+	}
 
 	rootRand := sim.NewRand(cfg.Seed + 77)
 	res := &RunResult{Bed: bed}

@@ -19,6 +19,13 @@ import (
 type Options struct {
 	Seed     uint64
 	Parallel int // worker-pool size; <= 0 means GOMAXPROCS
+	// Shards > 0 forces every Cfg cell onto the conservative-PDES path with
+	// this many engine shards (RunConfig.Shards). Cell output is
+	// byte-identical for every value ≥ 1 (the PDES determinism contract), so
+	// the flag trades intra-cell parallelism against the pool's inter-cell
+	// parallelism without perturbing results. 0 leaves each cell's own
+	// setting untouched.
+	Shards int
 }
 
 // ExperimentRun is one rendered experiment plus its execution accounting.
@@ -46,6 +53,7 @@ type Perf struct {
 type BatchResult struct {
 	Seed        uint64
 	Parallel    int           // resolved worker count
+	Shards      int           // forced per-cell shard count (0 = per-cell default)
 	Wall        time.Duration // real elapsed time of the whole batch
 	Perf        Perf
 	Experiments []ExperimentRun
@@ -77,6 +85,13 @@ func RunExperiments(ids []string, opt Options) (*BatchResult, error) {
 		spans = append(spans, span{s, len(flat), len(flat) + len(cs)})
 		flat = append(flat, cs...)
 	}
+	if opt.Shards > 0 {
+		for i := range flat {
+			if flat[i].Cfg != nil {
+				flat[i].Cfg.Shards = opt.Shards
+			}
+		}
+	}
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	//pmnetlint:ignore wallclock real elapsed time is reported only, never simulated
@@ -90,7 +105,7 @@ func RunExperiments(ids []string, opt Options) (*BatchResult, error) {
 			return nil, r.Err
 		}
 	}
-	out := &BatchResult{Seed: opt.Seed, Parallel: workers}
+	out := &BatchResult{Seed: opt.Seed, Parallel: workers, Shards: opt.Shards}
 	for _, r := range results {
 		out.Perf.Events += r.Events
 	}

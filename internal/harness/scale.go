@@ -1,0 +1,68 @@
+package harness
+
+// The "scale" experiment: the Fig16 saturation scenario on the sharded
+// (conservative-PDES) execution path, swept across client fan-in. The cells
+// pin Shards to 1 at enumeration time, so the experiment ALWAYS runs the
+// sharded scheduler and its rendered output is byte-identical no matter what
+// -shards value (or Options.Shards override) the batch runs with — the
+// wall-clock scaling lives in the perf block and the BENCH artifacts, never
+// in the tables. EXPERIMENTS.md's "Scaling a single scenario" section shows
+// how to read the speedup out of two BENCH JSONs with cmd/benchdiff.
+
+import (
+	"fmt"
+
+	"pmnet"
+	"pmnet/internal/netsim"
+	"pmnet/internal/stats"
+)
+
+var scaleClients = []int{8, 32, 96}
+
+func scaleCells(seed uint64) []Cell {
+	var cells []Cell
+	for _, clients := range scaleClients {
+		cells = append(cells, cfgCell(fmt.Sprintf("%d", clients), RunConfig{
+			Design: pmnet.PMNetSwitch, Workload: WLIdeal, Clients: clients,
+			Requests: 150, Warmup: 10, ValueSize: 1000, UpdateRatio: 1,
+			Seed: seed, Shards: 1,
+		}))
+	}
+	return cells
+}
+
+func scaleRender(seed uint64, cells []CellResult) Result {
+	t := stats.Table{
+		Title: "Scale: sharded saturation scenario (PMNet switch, 1000B updates)",
+		Columns: []string{"clients", "partitions", "offered Gbps",
+			"mean lat (us)", "p99 lat (us)", "events"},
+	}
+	metrics := map[string]float64{}
+	for i, clients := range scaleClients {
+		res := cells[i]
+		parts := uint64(0)
+		for _, c := range res.Counters {
+			if c.Name == "sim.partitions" {
+				parts = c.Value
+			}
+		}
+		wire := float64(1000+netsim.UDPOverhead+16) * 8
+		gbps := res.Run.Throughput() * wire / 1e9
+		t.AddRow(fmt.Sprintf("%d", clients), fmt.Sprintf("%d", parts),
+			fmt.Sprintf("%.2f", gbps),
+			us(res.Run.Hist.Mean()), us(res.Run.Hist.Percentile(99)),
+			fmt.Sprintf("%d", res.Events))
+		metrics[fmt.Sprintf("gbps_%d", clients)] = gbps
+		metrics[fmt.Sprintf("partitions_%d", clients)] = float64(parts)
+	}
+	return Result{
+		ID:    "scale",
+		Table: t,
+		Notes: []string{
+			"Cells run on the conservative-PDES path; output is byte-identical",
+			"for every -shards value. Wall-clock scaling: compare BENCH JSONs",
+			"from `pmnetbench -run scale -shards 1|4 -json` with cmd/benchdiff.",
+		},
+		Metrics: metrics,
+	}
+}

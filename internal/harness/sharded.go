@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+
+	"pmnet"
+	"pmnet/internal/sim"
+	"pmnet/internal/stats"
+	"pmnet/internal/workload"
+)
+
+// clientSlot is one client's private measurement state on the sharded path.
+// Its fields are written only by the shard worker running that client's
+// partition during bed.Run() and read only after Run returns (the pdes
+// barrier/join provides the happens-before edge) — no client ever shares a
+// slot, so the drivers touch no cross-shard memory.
+type clientSlot struct {
+	run  *stats.Run
+	st   workload.DriverStats
+	done bool
+}
+
+// runSharded wires per-client drivers onto a sharded testbed and merges their
+// results. It mirrors the classic driver loop in Run, with two deliberate
+// differences forced by parallelism, both shard-count-invariant:
+//
+//   - Each driver runs on its own client's engine and records into its own
+//     slot; timestamps come from that client's clock (identical to the global
+//     clock at the recording instant on the classic path, but readable
+//     without cross-shard traffic).
+//   - The measurement window opens at the earliest issue time among measured
+//     requests (min over clients of first completion minus its latency)
+//     rather than at the globally first completion — a min over per-client
+//     values, so it cannot depend on engine interleaving.
+//
+// Merging happens in client-index order after bed.Run() returns, so float
+// accumulation order in the histogram is fixed.
+func runSharded(cfg *RunConfig, bed *pmnet.Testbed) (*RunResult, error) {
+	rootRand := sim.NewRand(cfg.Seed + 77)
+	slots := make([]clientSlot, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		s := &slots[i]
+		s.run = stats.NewRun(0)
+		eng := bed.Clients[i].Engine()
+		gen := buildGenerator(cfg.Workload, cfg, i, rootRand.Fork())
+		seen := 0
+		warm := cfg.Warmup
+		d := &workload.Driver{
+			Sess: bed.Session(i),
+			Gen:  gen,
+			Record: func(lat sim.Time, op workload.Op) {
+				seen++
+				if seen <= warm {
+					return
+				}
+				if s.run.Requests == 0 {
+					s.run.Start = eng.Now() - lat
+				}
+				s.run.Record(lat, eng.Now())
+			},
+		}
+		d.Run(eng, uint64(cfg.Requests+cfg.Warmup), func(st workload.DriverStats) {
+			s.st = st
+			s.done = true
+		})
+	}
+	bed.Run()
+
+	run := stats.NewRun(0)
+	var agg workload.DriverStats
+	remaining := 0
+	started := false
+	for i := range slots {
+		s := &slots[i]
+		if !s.done {
+			remaining++
+			continue
+		}
+		agg.Completed += s.st.Completed
+		agg.Updates += s.st.Updates
+		agg.Bypasses += s.st.Bypasses
+		agg.LockOps += s.st.LockOps
+		agg.LockRetries += s.st.LockRetries
+		agg.Failed += s.st.Failed
+		if s.run.Requests == 0 {
+			continue
+		}
+		if !started || s.run.Start < run.Start {
+			run.Start = s.run.Start
+		}
+		started = true
+		if s.run.End > run.End {
+			run.End = s.run.End
+		}
+		run.Requests += s.run.Requests
+		run.Hist.Merge(s.run.Hist)
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("harness: %d clients never finished (deadlock?)", remaining)
+	}
+	return &RunResult{Bed: bed, Run: run, Driver: agg}, nil
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pmnet"
+	"pmnet/internal/trace"
+)
+
+// shardProbe runs one config at a given shard count and captures everything
+// observable: measurement window, histogram, driver accounting, event count,
+// counter snapshot, and the serialized trace.
+type shardProbe struct {
+	run      string
+	driver   string
+	events   uint64
+	virtual  int64
+	counters []trace.Snapshot
+	chrome   []byte
+}
+
+func probeShards(t *testing.T, cfg RunConfig, shards int) shardProbe {
+	t.Helper()
+	cfg.Shards = shards
+	cfg.Trace = trace.NewTracer(1 << 16)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return shardProbe{
+		run: fmt.Sprintf("%s start=%d end=%d n=%d",
+			res.Run.Hist.String(), res.Run.Start, res.Run.End, res.Run.Requests),
+		driver:   fmt.Sprintf("%+v", res.Driver),
+		events:   res.Bed.EventsRun(),
+		virtual:  int64(res.Bed.Now()),
+		counters: res.Bed.Counters().Snapshot(),
+		chrome:   cfg.Trace.ChromeJSON(res.Bed.NodeName),
+	}
+}
+
+// TestShardedByteIdentical is the determinism contract of DESIGN.md §10.4:
+// every observable of a sharded run — stats, counters, trace bytes — is
+// identical at -shards 1 and -shards N.
+func TestShardedByteIdentical(t *testing.T) {
+	for _, cfg := range []RunConfig{
+		{Design: pmnet.PMNetSwitch, Workload: WLIdeal, Clients: 12, Requests: 40, Warmup: 5, Seed: 7},
+		{Design: pmnet.PMNetSwitch, Workload: WLHashmap, Clients: 6, Requests: 30, Seed: 3, Replication: 3, UpdateRatio: 0.5},
+		{Design: pmnet.PMNetNIC, Workload: WLIdeal, Clients: 9, Requests: 25, Seed: 11},
+		{Design: pmnet.ClientServer, Workload: WLIdeal, Clients: 5, Requests: 20, Seed: 5},
+	} {
+		base := probeShards(t, cfg, 1)
+		for _, n := range []int{2, 4, 7} {
+			got := probeShards(t, cfg, n)
+			if got.run != base.run {
+				t.Errorf("%s shards=%d: hist %q != %q", cfg.Design, n, got.run, base.run)
+			}
+			if got.driver != base.driver {
+				t.Errorf("%s shards=%d: driver %s != %s", cfg.Design, n, got.driver, base.driver)
+			}
+			if got.events != base.events {
+				t.Errorf("%s shards=%d: events %d != %d", cfg.Design, n, got.events, base.events)
+			}
+			if got.virtual != base.virtual {
+				t.Errorf("%s shards=%d: virtual end %d != %d", cfg.Design, n, got.virtual, base.virtual)
+			}
+			if !reflect.DeepEqual(got.counters, base.counters) {
+				t.Errorf("%s shards=%d: counter snapshots differ", cfg.Design, n)
+			}
+			if !bytes.Equal(got.chrome, base.chrome) {
+				t.Errorf("%s shards=%d: trace bytes differ (%d vs %d bytes)",
+					cfg.Design, n, len(got.chrome), len(base.chrome))
+			}
+		}
+	}
+}

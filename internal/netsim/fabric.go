@@ -1,0 +1,352 @@
+package netsim
+
+// This file partitions a Network for conservative parallel simulation
+// (internal/sim/pdes). A Fabric owns a set of partition Networks — each on
+// its own (possibly shared) sim.Engine — plus the global topology spanning
+// them: one route table, one name table, and one handoff queue per ordered
+// pair of adjacent partitions. The partition structure is a pure function of
+// the topology, chosen by the builder (testbed) independently of how many
+// engines/shards drive it; that invariance is what makes `-shards 1` and
+// `-shards N` produce byte-identical output (DESIGN.md §10.4).
+//
+// Cross-partition discipline:
+//
+//   - A directed link whose endpoints live in different partitions keeps its
+//     state (busyAt, queue depth, drops, loss draws) in the SOURCE
+//     partition, which models serialization and egress exactly as the
+//     classic path does — only the arrival event is handed off.
+//   - The handoff queue is single-producer (the source partition's worker
+//     appends during its epoch) and single-consumer (the destination
+//     partition drains it at the next barrier); the pdes barrier provides
+//     the happens-before edge between the two.
+//   - The destination injects queued arrivals ordered by
+//     (arrival time, source partition index, source emission order) — a key
+//     computed from the topology alone, so the injection order cannot
+//     depend on worker scheduling or shard count.
+//   - Packets are handed off, never shared: ownership moves with the queue
+//     entry, and a packet freed away from home is routed back to its home
+//     pool at the next barrier (see Network.FreePacket).
+
+import (
+	"fmt"
+	"sort"
+
+	"pmnet/internal/sim"
+)
+
+// xev is one queued cross-partition arrival.
+type xev struct {
+	at  sim.Time
+	pkt *Packet
+	hop NodeID
+}
+
+// xqueue carries arrivals from one source partition to one destination
+// partition (all cross links between the pair share it). buf is appended by
+// the source partition's worker during an epoch and drained — sorted stably
+// by arrival time, preserving source emission order among ties — by the
+// destination at the next barrier.
+type xqueue struct {
+	src, dst int32
+	buf      []xev
+	pos      int // drain cursor into buf
+}
+
+func (q *xqueue) push(at sim.Time, pkt *Packet, hop NodeID) {
+	q.buf = append(q.buf, xev{at: at, pkt: pkt, hop: hop})
+}
+
+// Fabric is the partitioned form of a Network. Build it single-threaded:
+// NewFabric, AddNode (via the partition Networks), Connect, then Freeze
+// before any traffic flows.
+type Fabric struct {
+	parts     []*Network
+	assign    []int // partition -> engine (shard) index
+	owner     map[NodeID]int32
+	topo      map[[2]NodeID]LinkConfig // directed global topology
+	xqs       map[[2]int32]*xqueue     // (src part, dst part) -> queue
+	xin       [][]*xqueue              // per partition: inbound queues, by src order
+	lookahead sim.Time
+	frozen    bool
+}
+
+// NewFabric creates one partition Network per assign entry; partition i runs
+// on engines[assign[i]] with its own loss-RNG stream forked from root in
+// partition order (so RNG consumption, like everything else, is a function
+// of the partition structure, not the shard count).
+func NewFabric(engines []*sim.Engine, assign []int, root *sim.Rand) *Fabric {
+	if len(assign) == 0 {
+		panic("netsim: fabric needs at least one partition")
+	}
+	f := &Fabric{
+		assign: append([]int(nil), assign...),
+		owner:  make(map[NodeID]int32),
+		topo:   make(map[[2]NodeID]LinkConfig),
+		xqs:    make(map[[2]int32]*xqueue),
+	}
+	names := make(map[NodeID]string) // one name table spanning all partitions
+	for i, eng := range assign {
+		if eng < 0 || eng >= len(engines) {
+			panic(fmt.Sprintf("netsim: partition %d assigned to unknown engine %d", i, eng))
+		}
+		n := New(engines[eng], root.Fork())
+		n.fab = f
+		n.pidx = int32(i)
+		n.names = names
+		n.ret = make([][]*Packet, len(assign))
+		f.parts = append(f.parts, n)
+	}
+	return f
+}
+
+// Parts returns the partition count.
+func (f *Fabric) Parts() int { return len(f.parts) }
+
+// Part returns partition i's Network; layers built on it (hosts, devices,
+// servers, sessions) land in that partition and on its engine.
+func (f *Fabric) Part(i int) *Network { return f.parts[i] }
+
+// Owner returns the partition a node was added to.
+func (f *Fabric) Owner(id NodeID) int { return int(f.owner[id]) }
+
+// addOwner records node ownership at AddNode time; the fabric-wide check
+// replaces the per-network duplicate check for cross-partition collisions.
+func (f *Fabric) addOwner(id NodeID, part int32, name string) {
+	if f.frozen {
+		panic("netsim: fabric is frozen; topology is immutable")
+	}
+	if p, dup := f.owner[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node id %d (%s) across partitions %d and %d", id, name, p, part))
+	}
+	f.owner[id] = part
+}
+
+// Connect creates a bidirectional link between a and b with the same config
+// in both directions, wiring each direction into its source partition (and
+// through a handoff queue when the endpoints live in different partitions).
+// Both nodes must already be added.
+func (f *Fabric) Connect(a, b NodeID, cfg LinkConfig) {
+	if f.frozen {
+		panic("netsim: fabric is frozen; topology is immutable")
+	}
+	f.connectDirected(a, b, cfg)
+	f.connectDirected(b, a, cfg)
+}
+
+func (f *Fabric) connectDirected(a, b NodeID, cfg LinkConfig) {
+	pa, ok := f.owner[a]
+	if !ok {
+		panic(fmt.Sprintf("netsim: connect: unknown node %d", a))
+	}
+	pb, ok := f.owner[b]
+	if !ok {
+		panic(fmt.Sprintf("netsim: connect: unknown node %d", b))
+	}
+	key := [2]NodeID{a, b}
+	f.topo[key] = cfg
+	src := f.parts[pa]
+	src.links[key] = &link{cfg: cfg, from: a, to: b}
+	if pa == pb {
+		return
+	}
+	qk := [2]int32{pa, pb}
+	q := f.xqs[qk]
+	if q == nil {
+		q = &xqueue{src: pa, dst: pb}
+		f.xqs[qk] = q
+	}
+	if src.xout == nil {
+		src.xout = make(map[[2]NodeID]*xqueue)
+	}
+	src.xout[key] = q
+}
+
+// Freeze computes the global route table (shared read-only by every
+// partition), the inbound queue lists, and the lookahead bound — the minimum
+// over cross-partition links of propagation delay plus the serialization
+// time of a minimum-size datagram, i.e. the least virtual time any
+// cross-partition interaction can take. Topology is immutable afterwards.
+func (f *Fabric) Freeze() {
+	if f.frozen {
+		return
+	}
+	f.frozen = true
+	linkKeys := make([][2]NodeID, 0, len(f.topo))
+	for key := range f.topo {
+		linkKeys = append(linkKeys, key)
+	}
+	nodes := make([]NodeID, 0, len(f.owner))
+	for id := range f.owner {
+		nodes = append(nodes, id)
+	}
+	routes := buildRouteTable(linkKeys, nodes)
+	for _, n := range f.parts {
+		n.routes = routes
+	}
+
+	// Lookahead: every cross-partition arrival is scheduled at
+	// txStart + serialization(size) + PropDelay with size ≥ UDPOverhead,
+	// so min(serMin + PropDelay) over cross links bounds it from below.
+	f.lookahead = 0
+	for _, key := range linkKeys {
+		if f.owner[key[0]] == f.owner[key[1]] {
+			continue
+		}
+		cfg := f.topo[key]
+		l := cfg.PropDelay
+		if cfg.Bandwidth > 0 {
+			l += sim.Time(float64(UDPOverhead*8) / cfg.Bandwidth * 1e9)
+		}
+		if f.lookahead == 0 || l < f.lookahead {
+			f.lookahead = l
+		}
+	}
+	if f.lookahead == 0 {
+		// No cross-partition links: partitions are mutually independent and
+		// any window is conservative.
+		f.lookahead = sim.Millisecond
+	}
+	if f.lookahead < 1 {
+		panic("netsim: fabric lookahead collapsed to zero (a cross-partition link has no latency)")
+	}
+
+	f.xin = make([][]*xqueue, len(f.parts))
+	qkeys := make([][2]int32, 0, len(f.xqs))
+	for qk := range f.xqs {
+		qkeys = append(qkeys, qk)
+	}
+	sort.Slice(qkeys, func(i, j int) bool {
+		if qkeys[i][1] != qkeys[j][1] {
+			return qkeys[i][1] < qkeys[j][1]
+		}
+		return qkeys[i][0] < qkeys[j][0]
+	})
+	for _, qk := range qkeys {
+		f.xin[qk[1]] = append(f.xin[qk[1]], f.xqs[qk])
+	}
+}
+
+// Lookahead returns the conservative window computed by Freeze.
+func (f *Fabric) Lookahead() sim.Time {
+	if !f.frozen {
+		panic("netsim: fabric not frozen")
+	}
+	return f.lookahead
+}
+
+// DrainFunc returns the pdes drain hook for one shard: at every epoch
+// barrier it reclaims returned packets and injects queued cross-partition
+// arrivals for each partition assigned to that shard, in partition order.
+func (f *Fabric) DrainFunc(shard int) func() {
+	var mine []*Network
+	for p, s := range f.assign {
+		if s == shard {
+			mine = append(mine, f.parts[p])
+		}
+	}
+	return func() {
+		for _, n := range mine {
+			f.reclaimReturns(n)
+			f.drainInbound(n)
+		}
+	}
+}
+
+// reclaimReturns pulls back packets that other partitions freed on this
+// partition's behalf since the previous barrier. The pdes barrier orders the
+// producers' appends before this read; producers will not touch the slices
+// again until after the next barrier.
+func (f *Fabric) reclaimReturns(n *Network) {
+	me := n.pidx
+	for _, peer := range f.parts {
+		if peer == n {
+			continue
+		}
+		back := peer.ret[me]
+		if len(back) == 0 {
+			continue
+		}
+		n.pkts = append(n.pkts, back...)
+		for i := range back {
+			back[i] = nil
+		}
+		peer.ret[me] = back[:0]
+	}
+}
+
+// drainInbound injects every queued cross-partition arrival into n's engine,
+// ordered by (arrival time, source partition index, source emission order).
+// Each queue is sorted stably by time first (a partition's emissions
+// interleave multiple egress links, so the buffer is only near-sorted), then
+// the queues — already in source order from Freeze — are cursor-merged.
+func (f *Fabric) drainInbound(n *Network) {
+	// Collect the non-empty queues into a per-partition scratch list (kept in
+	// source order because f.xin is), so the merge scans only live queues.
+	live := n.xlive[:0]
+	for _, q := range f.xin[n.pidx] {
+		if len(q.buf) == 0 {
+			continue
+		}
+		insertionSortByAt(q.buf)
+		live = append(live, q)
+	}
+	n.xlive = live
+	for {
+		var best *xqueue
+		for _, q := range live {
+			if q.pos >= len(q.buf) {
+				continue
+			}
+			if best == nil || q.buf[q.pos].at < best.buf[best.pos].at {
+				best = q
+			}
+		}
+		if best == nil {
+			break
+		}
+		ev := best.buf[best.pos]
+		best.buf[best.pos] = xev{}
+		best.pos++
+		n.eng.At(ev.at, n.getArrival(ev.pkt, ev.hop).fn)
+	}
+	for _, q := range live {
+		q.buf = q.buf[:0]
+		q.pos = 0
+	}
+}
+
+// insertionSortByAt stably sorts a small buffer by arrival time in place —
+// no allocation, and ties keep their emission order.
+func insertionSortByAt(buf []xev) {
+	for i := 1; i < len(buf); i++ {
+		e := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j].at > e.at {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = e
+	}
+}
+
+// Stats sums delivery counters across partitions.
+func (f *Fabric) Stats() Stats {
+	var s Stats
+	for _, n := range f.parts {
+		s.Delivered += n.stats.Delivered
+		s.DroppedFull += n.stats.DroppedFull
+		s.DroppedRand += n.stats.DroppedRand
+		s.DroppedDead += n.stats.DroppedDead
+	}
+	return s
+}
+
+// LinkQueueBytes reports the a→b egress queue depth wherever the link lives.
+func (f *Fabric) LinkQueueBytes(a, b NodeID) int {
+	return f.parts[f.owner[a]].LinkQueueBytes(a, b)
+}
+
+// LinkDrops reports a→b drop-tail losses wherever the link lives.
+func (f *Fabric) LinkDrops(a, b NodeID) uint64 {
+	return f.parts[f.owner[a]].LinkDrops(a, b)
+}

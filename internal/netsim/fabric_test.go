@@ -1,0 +1,190 @@
+package netsim
+
+// Unit tests of the fabric: cross-partition handoff ordering, packet-pool
+// repatriation, lookahead computation, and the steady-state allocation pin
+// for the sharded packet path.
+
+import (
+	"fmt"
+	"testing"
+
+	"pmnet/internal/raceflag"
+	"pmnet/internal/sim"
+	"pmnet/internal/sim/pdes"
+)
+
+// fabricRig is a two-partition ping-pong: host a in partition 0, host b in
+// partition 1, each on its own engine, with b echoing every packet straight
+// back — the minimal topology where every packet crosses partitions both
+// ways and is freed away from home.
+type fabricRig struct {
+	engs   []*sim.Engine
+	fab    *Fabric
+	a, b   *Host
+	runner *pdes.Runner
+	echoes int
+}
+
+func newFabricRig() *fabricRig {
+	rg := &fabricRig{engs: []*sim.Engine{sim.NewEngine(), sim.NewEngine()}}
+	root := sim.NewRand(1)
+	rg.fab = NewFabric(rg.engs, []int{0, 1}, root)
+	rg.a = NewHost(rg.fab.Part(0), 1, "a", StackModel{}, 1, root.Fork())
+	rg.b = NewHost(rg.fab.Part(1), 2, "b", StackModel{}, 1, root.Fork())
+	rg.fab.Connect(1, 2, DefaultLink())
+	rg.a.OnReceive(func(*Packet) {})
+	rg.b.OnReceive(func(p *Packet) {
+		rg.echoes++
+		nb := rg.fab.Part(1)
+		out := nb.AllocPacket()
+		out.To = 1
+		out.Raw = append(out.Raw[:0], p.Raw...)
+		nb.Transmit(out, 2)
+	})
+	shards := []pdes.Shard{
+		{Eng: rg.engs[0], Drain: rg.fab.DrainFunc(0)},
+		{Eng: rg.engs[1], Drain: rg.fab.DrainFunc(1)},
+	}
+	rg.fab.Freeze()
+	rg.runner = pdes.New(shards, rg.fab.Lookahead(), 1)
+	return rg
+}
+
+// round sends one packet a→b, which echoes it b→a, and runs to quiescence.
+func (rg *fabricRig) round() {
+	na := rg.fab.Part(0)
+	pkt := na.AllocPacket()
+	pkt.To = 2
+	pkt.Raw = append(pkt.Raw[:0], "ping-payload"...)
+	na.Transmit(pkt, 1)
+	rg.runner.Run()
+}
+
+func TestFabricPingPong(t *testing.T) {
+	rg := newFabricRig()
+	for i := 0; i < 5; i++ {
+		rg.round()
+	}
+	if rg.echoes != 5 {
+		t.Fatalf("b received %d packets, want 5", rg.echoes)
+	}
+	if s := rg.fab.Stats(); s.Delivered == 0 {
+		t.Fatal("fabric stats recorded no deliveries")
+	}
+}
+
+// TestFabricLookahead: the window is the minimum cross-partition link's
+// propagation delay plus minimum-datagram serialization.
+func TestFabricLookahead(t *testing.T) {
+	rg := newFabricRig()
+	link := DefaultLink()
+	want := link.PropDelay + sim.Time(float64(UDPOverhead*8)/link.Bandwidth*1e9)
+	if got := rg.fab.Lookahead(); got != want {
+		t.Fatalf("lookahead %d, want %d", got, want)
+	}
+}
+
+// TestFabricShardedAllocs pins the sharded steady state to zero allocations
+// per round: cross-partition handoff buffers, return slices, and per-shard
+// event pools all reach a fixed point after warmup, so a shard's epoch loop
+// allocates nothing — the same discipline the single-engine path pins.
+func TestFabricShardedAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	rg := newFabricRig()
+	for i := 0; i < 10; i++ {
+		rg.round() // warm packet pools, handoff buffers, heap arenas
+	}
+	if got := testing.AllocsPerRun(100, rg.round); got != 0 {
+		t.Errorf("sharded round allocated %.1f objects, want 0", got)
+	}
+}
+
+// TestFabricPacketRepatriation: packets freed away from home return to their
+// home partition's pool at the barrier instead of piling up in the peer's.
+func TestFabricPacketRepatriation(t *testing.T) {
+	rg := newFabricRig()
+	for i := 0; i < 50; i++ {
+		rg.round()
+	}
+	// After quiescence every packet has been reclaimed somewhere; home pools
+	// must own their packets back (ret slices empty at the fixed point).
+	for p := 0; p < 2; p++ {
+		n := rg.fab.Part(p)
+		for peer, back := range n.ret {
+			if len(back) != 0 {
+				t.Fatalf("partition %d still holds %d packets owed to partition %d",
+					p, len(back), peer)
+			}
+		}
+	}
+}
+
+// TestFabricDuplicateNodePanics: the fabric-wide id check replaces the
+// per-network one.
+func TestFabricDuplicateNodePanics(t *testing.T) {
+	engs := []*sim.Engine{sim.NewEngine(), sim.NewEngine()}
+	root := sim.NewRand(1)
+	fab := NewFabric(engs, []int{0, 1}, root)
+	NewHost(fab.Part(0), 7, "x", StackModel{}, 1, root.Fork())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node id across partitions must panic")
+		}
+	}()
+	NewHost(fab.Part(1), 7, "y", StackModel{}, 1, root.Fork())
+}
+
+// TestFabricPartitionConnectPanics: partition networks must be wired through
+// the fabric, never directly.
+func TestFabricPartitionConnectPanics(t *testing.T) {
+	engs := []*sim.Engine{sim.NewEngine()}
+	root := sim.NewRand(1)
+	fab := NewFabric(engs, []int{0}, root)
+	NewHost(fab.Part(0), 1, "a", StackModel{}, 1, root.Fork())
+	NewHost(fab.Part(0), 2, "b", StackModel{}, 1, root.Fork())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Network.Connect on a partition must panic")
+		}
+	}()
+	fab.Part(0).Connect(1, 2, DefaultLink())
+}
+
+// TestFabricPacketIDsInvariant: packet ids carry the minting partition in the
+// high bits, so ids are globally unique and independent of shard assignment.
+func TestFabricPacketIDsInvariant(t *testing.T) {
+	mint := func(assign []int) []uint64 {
+		nengines := 0
+		for _, a := range assign {
+			if a+1 > nengines {
+				nengines = a + 1
+			}
+		}
+		engs := make([]*sim.Engine, nengines)
+		for i := range engs {
+			engs[i] = sim.NewEngine()
+		}
+		fab := NewFabric(engs, assign, sim.NewRand(1))
+		var ids []uint64
+		for p := 0; p < fab.Parts(); p++ {
+			for k := 0; k < 3; k++ {
+				ids = append(ids, fab.Part(p).NewPacketID())
+			}
+		}
+		return ids
+	}
+	one := mint([]int{0, 0, 0})
+	spread := mint([]int{0, 1, 2})
+	if fmt.Sprint(one) != fmt.Sprint(spread) {
+		t.Fatalf("packet ids depend on shard assignment:\n one engine: %v\n spread:     %v", one, spread)
+	}
+	seen := map[uint64]bool{}
+	for _, id := range one {
+		if seen[id] {
+			t.Fatalf("duplicate packet id %d", id)
+		}
+		seen[id] = true
+	}
+}

@@ -61,9 +61,21 @@ type Network struct {
 	links  map[[2]NodeID]*link
 	routes map[NodeID]map[NodeID]NodeID // routes[at][dst] = next hop
 	down   map[NodeID]bool              // failed nodes drop all traffic
-	nextID uint64
+	idSeq  uint64                       // packet-id counter (partition-tagged inside a fabric)
 	stats  Stats
 	tracer *trace.Tracer // nil = tracing off (the common, zero-cost case)
+
+	// Fabric membership (nil/zero outside sharded testbeds — these fields
+	// are untouched on the classic single-engine path). pidx is this
+	// partition's index; xout routes directed links whose far endpoint lives
+	// in another partition to the cross-partition handoff queue; ret[p]
+	// collects packets freed here whose home pool is partition p, reclaimed
+	// by p at the next epoch barrier.
+	fab   *Fabric
+	pidx  int32
+	xout  map[[2]NodeID]*xqueue
+	ret   [][]*Packet
+	xlive []*xqueue // drainInbound scratch (non-empty inbound queues)
 
 	// Per-network free lists (single-threaded on the virtual clock, so no
 	// sync.Pool — see DESIGN.md "Hot path & pooling"). txs/arrs/dtxs hold
@@ -136,6 +148,9 @@ func (n *Network) AddNode(node Node, name string) {
 	if _, dup := n.nodes[id]; dup {
 		panic(fmt.Sprintf("netsim: duplicate node id %d (%s)", id, name))
 	}
+	if n.fab != nil {
+		n.fab.addOwner(id, n.pidx, name)
+	}
 	n.nodes[id] = node
 	n.names[id] = name
 }
@@ -151,6 +166,9 @@ func (n *Network) Name(id NodeID) string {
 // Connect creates a bidirectional link between a and b with the same config
 // in both directions. Both nodes must already be added.
 func (n *Network) Connect(a, b NodeID, cfg LinkConfig) {
+	if n.fab != nil {
+		panic("netsim: partition networks are wired through Fabric.Connect")
+	}
 	if _, ok := n.nodes[a]; !ok {
 		panic(fmt.Sprintf("netsim: connect: unknown node %d", a))
 	}
@@ -167,15 +185,32 @@ func (n *Network) Connect(a, b NodeID, cfg LinkConfig) {
 // tree/chain topologies there is a single shortest path, so plain BFS
 // reproduces in-order delivery within a flow (§IV-A4 footnote).
 func (n *Network) computeRoutes() {
-	n.routes = make(map[NodeID]map[NodeID]NodeID, len(n.nodes))
-	// Neighbour order steers BFS parent choice between equal-cost paths, so
-	// adjacency lists must be built in sorted link order, never in map
-	// iteration order — otherwise next hops (and thus every delivery time
-	// downstream) could differ from run to run on multipath topologies.
+	if n.fab != nil {
+		// Partition networks share the fabric-wide table installed by
+		// Freeze; computing one from the partition's own links would route
+		// within a fragment of the topology.
+		panic("netsim: fabric not frozen before traffic")
+	}
 	linkKeys := make([][2]NodeID, 0, len(n.links))
 	for key := range n.links {
 		linkKeys = append(linkKeys, key)
 	}
+	srcs := make([]NodeID, 0, len(n.nodes))
+	for src := range n.nodes {
+		srcs = append(srcs, src)
+	}
+	n.routes = buildRouteTable(linkKeys, srcs)
+}
+
+// buildRouteTable is the shared BFS next-hop builder, used both by a classic
+// Network (over its own links and nodes) and by a Fabric (over the global
+// topology spanning every partition). Both inputs may arrive in map order:
+// they are sorted here, because neighbour order steers BFS parent choice
+// between equal-cost paths — adjacency lists built in map iteration order
+// could pick different next hops (and thus different delivery times) from
+// run to run on multipath topologies.
+func buildRouteTable(linkKeys [][2]NodeID, srcs []NodeID) map[NodeID]map[NodeID]NodeID {
+	routes := make(map[NodeID]map[NodeID]NodeID, len(srcs))
 	sort.Slice(linkKeys, func(i, j int) bool {
 		if linkKeys[i][0] != linkKeys[j][0] {
 			return linkKeys[i][0] < linkKeys[j][0]
@@ -185,10 +220,6 @@ func (n *Network) computeRoutes() {
 	adj := make(map[NodeID][]NodeID)
 	for _, key := range linkKeys {
 		adj[key[0]] = append(adj[key[0]], key[1])
-	}
-	srcs := make([]NodeID, 0, len(n.nodes))
-	for src := range n.nodes {
-		srcs = append(srcs, src)
 	}
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
 	for _, src := range srcs {
@@ -213,12 +244,13 @@ func (n *Network) computeRoutes() {
 			if node == src {
 				continue
 			}
-			if n.routes[node] == nil {
-				n.routes[node] = make(map[NodeID]NodeID)
+			if routes[node] == nil {
+				routes[node] = make(map[NodeID]NodeID)
 			}
-			n.routes[node][src] = parent[node]
+			routes[node][src] = parent[node]
 		}
 	}
+	return routes
 }
 
 // NextHop returns the neighbour to which `at` should forward traffic headed
@@ -240,11 +272,23 @@ func (n *Network) SetNodeDown(id NodeID, down bool) {
 // NodeDown reports whether the node is currently failed.
 func (n *Network) NodeDown(id NodeID) bool { return n.down[id] }
 
-// NewPacketID mints a unique packet identity.
+// NewPacketID mints a unique packet identity. Inside a fabric the id carries
+// the partition index in its high bits over a per-partition counter: ids stay
+// globally unique without a shared counter, and — because the minting
+// partition and its local mint order are pure functions of the topology — the
+// id of any given packet is identical in every shard configuration (packet
+// ids feed the trace, whose bytes are compared across -shards values).
 func (n *Network) NewPacketID() uint64 {
-	n.nextID++
-	return n.nextID
+	n.idSeq++
+	if n.fab != nil {
+		return uint64(n.pidx+1)<<partIDShift | n.idSeq
+	}
+	return n.idSeq
 }
+
+// partIDShift positions the partition tag above any realistic per-partition
+// packet count (2^48 packets).
+const partIDShift = 48
 
 // AllocPacket returns a zeroed pool-owned packet (its Raw buffer keeps its
 // capacity across recycles). Release it with FreePacket when its journey
@@ -256,11 +300,15 @@ func (n *Network) AllocPacket() *Packet {
 		p.pool = pkLive
 		return p
 	}
-	return &Packet{pool: pkLive}
+	return &Packet{pool: pkLive, home: n.pidx}
 }
 
 // FreePacket recycles a pool-owned packet. Unpooled packets (built with
-// &Packet{}) are ignored; freeing the same packet twice panics.
+// &Packet{}) are ignored; freeing the same packet twice panics. A packet
+// whose journey ends in a foreign partition is queued for return to its home
+// pool at the next epoch barrier rather than adopted locally, keeping every
+// pool balanced (and therefore zero-alloc) under asymmetric cross-partition
+// traffic.
 func (n *Network) FreePacket(p *Packet) {
 	switch p.pool {
 	case pkUnpooled:
@@ -269,7 +317,12 @@ func (n *Network) FreePacket(p *Packet) {
 		panic("netsim: packet double free")
 	}
 	raw := p.Raw[:0]
-	*p = Packet{Raw: raw, pool: pkFree}
+	home := p.home
+	*p = Packet{Raw: raw, pool: pkFree, home: home}
+	if n.fab != nil && home != n.pidx {
+		n.ret[home] = append(n.ret[home], p)
+		return
+	}
 	n.pkts = append(n.pkts, p)
 }
 
@@ -401,7 +454,20 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 		n.tracer.Emit(trace.GaugeLinkQueue, trace.LinkID(uint64(from), uint64(hop)), uint64(l.queued), 0)
 	}
 	n.eng.At(txDone, n.getTxEnd(l, size).fn)
-	n.eng.At(txDone+l.cfg.PropDelay, n.getArrival(pkt, hop).fn)
+	arriveAt := txDone + l.cfg.PropDelay
+	if n.xout != nil {
+		if x := n.xout[[2]NodeID{from, hop}]; x != nil {
+			// The next hop lives in another partition: hand the packet off
+			// through the cross-partition queue instead of scheduling the
+			// arrival locally. The receiving partition injects it at the
+			// next epoch barrier — always ≥ lookahead away, because
+			// arriveAt ≥ now + serialization + PropDelay and the fabric
+			// lookahead is the minimum of that sum over cross links.
+			x.push(arriveAt, pkt, hop)
+			return
+		}
+	}
+	n.eng.At(arriveAt, n.getArrival(pkt, hop).fn)
 }
 
 // dropPacket records the drop into the trace (when tracing is on) and

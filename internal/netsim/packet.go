@@ -37,6 +37,13 @@ type Packet struct {
 	Hops   int      // number of links traversed so far
 
 	pool poolState // free-list lifecycle; zero for packets built with &Packet{}
+	// home is the fabric partition whose pool owns this packet. A packet
+	// handed off across partitions is freed on the receiving side, which
+	// routes it back to its home pool at the next epoch barrier — otherwise
+	// asymmetric traffic (one request in, R acks out) would drain one
+	// partition's pool and grow another's without bound. Always 0 outside a
+	// fabric.
+	home int32
 }
 
 // poolState tracks a packet's position in the network free-list lifecycle.

@@ -1,0 +1,234 @@
+// Package pdes runs several sim.Engine instances as one conservative
+// parallel discrete-event simulation.
+//
+// The model is classic conservative PDES with lookahead (Chandy/Misra; the
+// same structure ns-3's distributed scheduler uses): the topology is split
+// into shards, each owning a disjoint set of entities on its own engine, and
+// every interaction that crosses a shard boundary is guaranteed to take at
+// least L nanoseconds of virtual time (the minimum cross-shard link latency,
+// measured at topology-build time). Execution proceeds in barrier-
+// synchronized epochs:
+//
+//  1. Drain: each shard injects the cross-shard work its peers queued during
+//     the previous epoch, in a deterministic merge order, and reclaims any
+//     resources returned to it.
+//  2. Reduce: every worker reads the per-shard next-event times written
+//     before the barrier and computes the global minimum gmin identically.
+//  3. Run: each shard executes its events in [gmin, gmin+L) independently.
+//
+// Because the first event of the epoch fires at ≥ gmin, anything a shard
+// sends during the epoch arrives at ≥ gmin+L — the start of the next epoch —
+// so no shard can receive an event in its own past, and the merge at the
+// next barrier sees every cross-shard event before any of them is runnable.
+// DESIGN.md §10.4 develops the full argument and the byte-identical-output
+// discipline built on top of this runner.
+//
+// Determinism: the runner's output order is a pure function of the shard
+// structure, never of the worker count or host scheduling. Workers only
+// multiplex shards (shard s is always driven by worker s mod W, each shard's
+// drain and run steps happen in shard order within a worker and are mutually
+// independent across workers), and the barrier's atomics provide the
+// happens-before edges that make the cross-shard queue handoffs safe.
+package pdes
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pmnet/internal/sim"
+)
+
+// never is the reduction identity: no pending event.
+const never = sim.Time(math.MaxInt64)
+
+// Shard is one partition of the simulation: an engine owning a disjoint set
+// of entities, plus the drain hook that injects pending cross-shard work.
+type Shard struct {
+	// Eng is the shard's event engine. Only the worker driving this shard
+	// touches it between barriers.
+	Eng *sim.Engine
+	// Drain is invoked at every epoch barrier, before the epoch window is
+	// chosen: it must inject every cross-shard event queued for this shard
+	// (in the deterministic merge order the model defines) and reclaim any
+	// pooled resources returned to it. May be nil.
+	Drain func()
+}
+
+// Runner drives a set of shards in barrier-synchronized epochs.
+type Runner struct {
+	shards    []Shard
+	lookahead sim.Time
+	workers   int
+	mins      []minSlot
+	bar       barrier
+}
+
+// minSlot holds one shard's next-event time, padded to its own cache line so
+// per-epoch writes from different workers never false-share.
+type minSlot struct {
+	t sim.Time
+	_ [56]byte
+}
+
+// New creates a runner over shards with the given lookahead (must be ≥ 1 ns:
+// a zero window could never fire an event and the epoch loop would spin
+// forever). workers bounds the worker pool; values ≤ 0 or beyond the shard
+// count and GOMAXPROCS are clamped. The shard list order is part of the
+// deterministic contract: shard s is always driven by worker s mod W.
+func New(shards []Shard, lookahead sim.Time, workers int) *Runner {
+	if len(shards) == 0 {
+		panic("pdes: no shards")
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("pdes: lookahead %d ns is not positive", lookahead))
+	}
+	if workers <= 0 || workers > len(shards) {
+		workers = len(shards)
+	}
+	if mx := runtime.GOMAXPROCS(0); workers > mx {
+		workers = mx
+	}
+	return &Runner{
+		shards:    shards,
+		lookahead: lookahead,
+		workers:   workers,
+		mins:      make([]minSlot, len(shards)),
+		bar:       barrier{n: int32(workers)},
+	}
+}
+
+// Workers returns the resolved worker-pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Lookahead returns the epoch window width.
+func (r *Runner) Lookahead() sim.Time { return r.lookahead }
+
+// Run executes epochs until every shard's queue is drained (checked after
+// the drain phase, so in-flight cross-shard events keep the run alive).
+func (r *Runner) Run() { r.RunUntil(never) }
+
+// RunUntil executes epochs until every event with time ≤ deadline has run,
+// then advances every shard clock to deadline (mirroring Engine.RunUntil).
+// Events beyond the deadline stay queued for a later call.
+//
+// Model callbacks must not call Engine.Stop: the epoch loop would simply
+// resume the engine at the next barrier.
+func (r *Runner) RunUntil(deadline sim.Time) {
+	if r.workers == 1 {
+		r.work(0, deadline, nil)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < r.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.work(w, deadline, &r.bar)
+		}(w)
+	}
+	r.work(0, deadline, &r.bar)
+	wg.Wait()
+}
+
+// work is one worker's epoch loop. Every worker runs the identical control
+// flow and computes the same gmin from the same mins snapshot, so they all
+// agree on every epoch window and on the exit epoch without any leader.
+// bar is nil in the single-worker fast path (no goroutines, no atomics).
+func (r *Runner) work(w int, deadline sim.Time, bar *barrier) {
+	var sense uint32
+	for {
+		for s := w; s < len(r.shards); s += r.workers {
+			if d := r.shards[s].Drain; d != nil {
+				d()
+			}
+			if t, ok := r.shards[s].Eng.NextTime(); ok {
+				r.mins[s].t = t
+			} else {
+				r.mins[s].t = never
+			}
+		}
+		if bar != nil {
+			bar.wait(&sense)
+		}
+		gmin := never
+		for i := range r.mins {
+			if r.mins[i].t < gmin {
+				gmin = r.mins[i].t
+			}
+		}
+		if gmin == never || gmin > deadline {
+			// Globally drained (below the deadline). Advance this worker's
+			// shard clocks to the deadline so every engine agrees on Now,
+			// exactly as Engine.RunUntil leaves a drained engine.
+			if deadline < never {
+				for s := w; s < len(r.shards); s += r.workers {
+					r.shards[s].Eng.RunUntil(deadline)
+				}
+			}
+			return
+		}
+		// The epoch window is [gmin, gmin+L): every event in it is safe to
+		// run because nothing sent during the epoch can arrive before
+		// gmin+L. RunUntil is ≤-inclusive, hence the -1 (integer ns).
+		runTo := gmin + r.lookahead - 1
+		if runTo > deadline {
+			runTo = deadline
+		}
+		for s := w; s < len(r.shards); s += r.workers {
+			r.shards[s].Eng.RunUntil(runTo)
+		}
+		if bar != nil {
+			bar.wait(&sense)
+		}
+	}
+}
+
+// Now returns the maximum shard clock — after a bounded RunUntil all shards
+// agree on it; after an unbounded Run it is the time of the last event.
+func (r *Runner) Now() sim.Time {
+	var max sim.Time
+	for i := range r.shards {
+		if t := r.shards[i].Eng.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// EventsRun sums executed events across shards. The total is deterministic:
+// the same events fire in every shard configuration.
+func (r *Runner) EventsRun() uint64 {
+	var n uint64
+	for i := range r.shards {
+		n += r.shards[i].Eng.EventsRun()
+	}
+	return n
+}
+
+// barrier is a sense-reversing spin barrier. Epochs are sub-microsecond, so
+// the wait is a spin with Gosched rather than a futex sleep; the atomics
+// double as the happens-before edges that publish each worker's plain writes
+// (mins slots, cross-shard queue slices) to every other worker: each
+// arrival's Add is observed by the last arrival, whose sense Store is
+// observed by every spinner's Load.
+type barrier struct {
+	n     int32 // party count, fixed at construction
+	count atomic.Int32
+	sense atomic.Uint32
+}
+
+func (b *barrier) wait(sense *uint32) {
+	s := *sense ^ 1
+	*sense = s
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Store(s)
+		return
+	}
+	for b.sense.Load() != s {
+		runtime.Gosched()
+	}
+}

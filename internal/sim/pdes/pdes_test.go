@@ -1,0 +1,266 @@
+package pdes
+
+import (
+	"fmt"
+	"testing"
+
+	"pmnet/internal/sim"
+)
+
+// forceWorkers overrides the GOMAXPROCS clamp so the concurrent barrier path
+// is exercised (under -race in CI) even on single-core hosts, where New would
+// otherwise always select the inline single-worker path.
+func forceWorkers(r *Runner, w int) {
+	if w > len(r.shards) {
+		w = len(r.shards)
+	}
+	r.workers = w
+	r.bar = barrier{n: int32(w)}
+}
+
+// xmsg is one synthetic cross-shard message.
+type xmsg struct {
+	at   sim.Time
+	from int // source shard
+	seq  int // source emission order
+}
+
+// testNet is a miniature cross-shard model following the same discipline as
+// netsim.Fabric: per ordered shard-pair single-producer queues, drained at
+// the barrier in (time, source shard, emission order) order. Every delivery
+// is logged and re-sends to the next shard until the hop budget runs out.
+type testNet struct {
+	engs   []*sim.Engine
+	queues [][][]xmsg // [src][dst]
+	seqs   []int
+	logs   [][]string
+	la     sim.Time
+}
+
+func newTestNet(nshards int, la sim.Time) *testNet {
+	tn := &testNet{la: la}
+	tn.engs = make([]*sim.Engine, nshards)
+	tn.queues = make([][][]xmsg, nshards)
+	tn.seqs = make([]int, nshards)
+	tn.logs = make([][]string, nshards)
+	for i := range tn.engs {
+		tn.engs[i] = sim.NewEngine()
+		tn.queues[i] = make([][]xmsg, nshards)
+	}
+	return tn
+}
+
+func (tn *testNet) send(from, to int, at sim.Time) {
+	tn.seqs[from]++
+	tn.queues[from][to] = append(tn.queues[from][to], xmsg{at: at, from: from, seq: tn.seqs[from]})
+}
+
+// drain injects shard d's inbound messages in the deterministic merge order.
+func (tn *testNet) drain(d int) {
+	for src := 0; src < len(tn.engs); src++ {
+		buf := tn.queues[src][d]
+		if len(buf) == 0 {
+			continue
+		}
+		// Injection in (source, emission) order: the engine heap orders by
+		// time with insertion-order tiebreak, so this fixed order is the
+		// deterministic merge key regardless of buffer sortedness.
+		for _, m := range buf {
+			m := m
+			tn.engs[d].At(m.at, func() { tn.deliver(d, m) })
+		}
+		tn.queues[src][d] = buf[:0]
+	}
+}
+
+// deliver logs the message and forwards it around the ring while the virtual
+// clock is young — exercising multi-epoch chains of cross-shard traffic.
+func (tn *testNet) deliver(d int, m xmsg) {
+	now := tn.engs[d].Now()
+	tn.logs[d] = append(tn.logs[d], fmt.Sprintf("t=%d %d->%d #%d", now, m.from, d, m.seq))
+	if now < 100*tn.la {
+		// Deterministic pseudo-jitter from the message identity alone.
+		jitter := sim.Time((m.seq*7 + d*13) % 23)
+		tn.send(d, (d+1)%len(tn.engs), now+tn.la+jitter)
+	}
+}
+
+func (tn *testNet) shards() []Shard {
+	out := make([]Shard, len(tn.engs))
+	for i := range tn.engs {
+		i := i
+		out[i] = Shard{Eng: tn.engs[i], Drain: func() { tn.drain(i) }}
+	}
+	return out
+}
+
+func runRing(nshards, workers int, deadline sim.Time) [][]string {
+	tn := newTestNet(nshards, 50)
+	for i := range tn.engs {
+		i := i
+		tn.engs[i].At(1, func() { tn.deliver(i, xmsg{at: 1, from: i, seq: 0}) })
+	}
+	r := New(tn.shards(), tn.la, workers)
+	forceWorkers(r, workers)
+	if deadline > 0 {
+		r.RunUntil(deadline)
+	} else {
+		r.Run()
+	}
+	return tn.logs
+}
+
+// TestWorkerCountInvariance: per-shard event logs are identical no matter how
+// many workers drive the shard set — the core determinism contract. Run with
+// -race to also prove the barrier publishes the queue handoffs.
+func TestWorkerCountInvariance(t *testing.T) {
+	base := runRing(5, 1, 0)
+	for _, w := range []int{2, 3, 5} {
+		got := runRing(5, w, 0)
+		for s := range base {
+			if len(got[s]) != len(base[s]) {
+				t.Fatalf("workers=%d shard %d: %d events vs %d", w, s, len(got[s]), len(base[s]))
+			}
+			for i := range base[s] {
+				if got[s][i] != base[s][i] {
+					t.Fatalf("workers=%d shard %d event %d: %q vs %q", w, s, i, got[s][i], base[s][i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunUntilSemantics mirrors Engine.RunUntil: events past the deadline
+// stay queued, clocks land exactly on the deadline, and a later call resumes.
+func TestRunUntilSemantics(t *testing.T) {
+	tn := newTestNet(3, 50)
+	fired := 0
+	tn.engs[0].At(10, func() { fired++ })
+	tn.engs[1].At(500, func() { fired++ })
+	tn.engs[2].At(1500, func() { fired++ })
+	r := New(tn.shards(), tn.la, 1)
+	r.RunUntil(1000)
+	if fired != 2 {
+		t.Fatalf("fired %d of 2 events due by t=1000", fired)
+	}
+	if r.Now() != 1000 {
+		t.Fatalf("Now() = %d, want deadline 1000", r.Now())
+	}
+	for i, e := range tn.engs {
+		if e.Now() != 1000 {
+			t.Fatalf("shard %d clock %d, want 1000", i, e.Now())
+		}
+	}
+	r.RunUntil(2000)
+	if fired != 3 {
+		t.Fatalf("fired %d of 3 after resume", fired)
+	}
+}
+
+// TestCancelAcrossEpochs is the schedule/cancel stress of the sharded
+// engine: each shard keeps scheduling pairs of timers several epochs ahead
+// and cancels one of each pair from a later epoch. Cancelled timers must
+// never fire, and the surviving-fire log must not depend on the worker
+// count. (Cancels are shard-local — an Event may only be touched by the
+// engine that minted it — matching the model-code discipline pmnetlint's
+// sharedstate analyzer enforces.)
+func TestCancelAcrossEpochs(t *testing.T) {
+	run := func(workers int) [][]string {
+		tn := newTestNet(4, 50)
+		for i := range tn.engs {
+			i := i
+			eng := tn.engs[i]
+			var step func(round int)
+			step = func(round int) {
+				if round >= 200 {
+					return
+				}
+				now := eng.Now()
+				// Two timers several epochs out; the first is doomed.
+				doomed := eng.At(now+sim.Time(120+round%7), func() {
+					tn.logs[i] = append(tn.logs[i], fmt.Sprintf("DOOMED r%d", round))
+				})
+				eng.At(now+sim.Time(130+round%11), func() {
+					tn.logs[i] = append(tn.logs[i], fmt.Sprintf("t=%d fire r%d", eng.Now(), round))
+				})
+				// Cancel from a different epoch than the schedule.
+				eng.At(now+sim.Time(60+round%5), func() {
+					doomed.Cancel()
+					// And keep cross-shard traffic flowing so epochs stay busy.
+					tn.send(i, (i+1)%len(tn.engs), eng.Now()+tn.la)
+					step(round + 1)
+				})
+			}
+			eng.At(1, func() { step(0) })
+		}
+		r := New(tn.shards(), tn.la, workers)
+		forceWorkers(r, workers)
+		r.Run()
+		return tn.logs
+	}
+
+	base := run(1)
+	for s := range base {
+		if len(base[s]) == 0 {
+			t.Fatalf("shard %d logged nothing", s)
+		}
+		for _, line := range base[s] {
+			if len(line) >= 6 && line[:6] == "DOOMED" {
+				t.Fatalf("shard %d: cancelled timer fired: %q", s, line)
+			}
+		}
+	}
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		for s := range base {
+			if len(got[s]) != len(base[s]) {
+				t.Fatalf("workers=%d shard %d: %d lines vs %d", w, s, len(got[s]), len(base[s]))
+			}
+			for i := range base[s] {
+				if got[s][i] != base[s][i] {
+					t.Fatalf("workers=%d shard %d line %d: %q vs %q", w, s, i, got[s][i], base[s][i])
+				}
+			}
+		}
+	}
+}
+
+// TestEventsRunInvariant: the total event count is identical across worker
+// counts (the perf block's events metric is deterministic).
+func TestEventsRunInvariant(t *testing.T) {
+	count := func(workers int) uint64 {
+		tn := newTestNet(4, 50)
+		for i := range tn.engs {
+			i := i
+			tn.engs[i].At(1, func() { tn.deliver(i, xmsg{at: 1, from: i, seq: 0}) })
+		}
+		r := New(tn.shards(), tn.la, workers)
+		forceWorkers(r, workers)
+		r.Run()
+		return r.EventsRun()
+	}
+	base := count(1)
+	if base == 0 {
+		t.Fatal("no events ran")
+	}
+	for _, w := range []int{2, 4} {
+		if got := count(w); got != base {
+			t.Fatalf("workers=%d: EventsRun %d != %d", w, got, base)
+		}
+	}
+}
+
+// TestNewClamps: construction guards.
+func TestNewClamps(t *testing.T) {
+	tn := newTestNet(2, 50)
+	r := New(tn.shards(), 50, 99)
+	if r.Workers() > 2 {
+		t.Fatalf("workers %d not clamped to shard count", r.Workers())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero lookahead must panic")
+		}
+	}()
+	New(tn.shards(), 0, 1)
+}

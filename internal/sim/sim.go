@@ -120,6 +120,17 @@ func (e *Engine) EventsRun() uint64 { return e.ran }
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// NextTime returns the virtual time of the earliest pending event, or false
+// when the queue is empty. The conservative PDES runner (internal/sim/pdes)
+// peeks every shard's next event at each barrier to pick the epoch window;
+// the peek must not disturb the heap.
+func (e *Engine) NextTime() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
 // get pops a recycled node or allocates a fresh one (pool not yet warm).
 func (e *Engine) get() *node {
 	if k := len(e.free) - 1; k >= 0 {

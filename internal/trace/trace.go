@@ -212,6 +212,64 @@ func (t *Tracer) Len() int {
 	return len(t.ring)
 }
 
+// Capacity returns the configured ring capacity in records.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.cap
+}
+
+// AdoptMerged rebuilds t's ring as the ordered interleaving of the partition
+// tracers' rings — the collection step of a sharded run, where each topology
+// partition records into its own tracer (bound to its shard's engine) and
+// the testbed folds them into the run's tracer afterwards.
+//
+// The merge key is (timestamp, partition index, emission order): each
+// partition's ring is already time-sorted (its virtual clock is monotonic),
+// and the partition list order is part of the topology, so the merged byte
+// stream is identical in every shard configuration. Records beyond t's
+// capacity are counted as dropped, exactly like Emit on a full ring; the
+// parts' own drop counts carry over. Calling AdoptMerged again recomputes
+// the same result, so re-running a testbed stays idempotent.
+func (t *Tracer) AdoptMerged(parts []*Tracer) {
+	if t == nil {
+		return
+	}
+	if t.ring == nil {
+		t.ring = make([]Record, 0, t.cap)
+	}
+	t.ring = t.ring[:0]
+	t.drop = 0
+	cursors := make([]int, len(parts))
+	for _, p := range parts {
+		t.drop += p.Dropped()
+	}
+	for {
+		best := -1
+		var bestAt sim.Time
+		for i, p := range parts {
+			if cursors[i] >= p.Len() {
+				continue
+			}
+			at := p.ring[cursors[i]].At
+			if best < 0 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		if best < 0 {
+			return
+		}
+		rec := parts[best].ring[cursors[best]]
+		cursors[best]++
+		if len(t.ring) == cap(t.ring) {
+			t.drop++
+			continue
+		}
+		t.ring = append(t.ring, rec)
+	}
+}
+
 // SpanID packs a session id and sequence number into the A/C argument form
 // used by the request-lifecycle kinds.
 func SpanID(session uint16, seq uint32) uint64 {

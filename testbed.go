@@ -8,6 +8,7 @@ import (
 	"pmnet/internal/netsim"
 	"pmnet/internal/server"
 	"pmnet/internal/sim"
+	"pmnet/internal/sim/pdes"
 	"pmnet/internal/trace"
 )
 
@@ -70,47 +71,28 @@ type Config struct {
 	// Trace, when non-nil, records every request-lifecycle event and gauge
 	// sample into the tracer's ring. The tracer is bound to the testbed's
 	// engine by NewTestbed (a tracer serves exactly one testbed); nil keeps
-	// the hot paths on their zero-alloc untraced fast path.
+	// the hot paths on their zero-alloc untraced fast path. In a sharded
+	// testbed each topology partition records into its own sub-tracer and
+	// Run folds them into this one in a shard-count-invariant order.
 	Trace *trace.Tracer
+
+	// Shards > 0 selects the conservative-PDES execution path: the topology
+	// is partitioned (a pure function of the configuration — never of the
+	// shard count), partitions are assigned round-robin to this many
+	// sim.Engine shards, and Run drives them in lookahead-bounded epochs on
+	// a bounded worker pool (internal/sim/pdes). Results are deterministic
+	// and byte-identical for every Shards ≥ 1; they differ statistically
+	// from the Shards == 0 single-engine path, which remains the default.
+	// CrossTrafficGbps > 0 forces the single-engine path (the generator's
+	// stop hook is an immediate cross-partition intervention) — the
+	// fallback depends only on the Config, so it cannot break shard-count
+	// invariance.
+	Shards int
 }
 
-// Testbed is a built cluster ready to run on its virtual clock.
-//
-// Concurrency contract: a Testbed is single-threaded — one goroutine builds
-// it, drives it, and reads its results — but distinct Testbeds are fully
-// independent and may run concurrently (internal/harness executes experiment
-// cells on a worker pool). Every piece of mutable state (event engine,
-// virtual clock, PRNG streams, arenas, queues) is allocated per testbed in
-// NewTestbed; the only package-level state any of it touches (engine
-// factories, calibrated latency models, error sentinels) is written once at
-// init and read-only afterwards. Nothing here reads wall-clock time, so
-// scheduling order across testbeds cannot leak into results: a run's output
-// is a pure function of its Config (and so of the seed baked into it).
-type Testbed struct {
-	Engine   *sim.Engine
-	Network  *netsim.Network
-	Sessions []*client.Session
-	Clients  []*netsim.Host
-	Server   *server.Server      // the first (or only) server
-	Servers  []*server.Server    // every server in the rack
-	Devices  []*dataplane.Device // empty for ClientServer
-	ToR      *netsim.Switch      // the plain switch merging client traffic
-
-	cross *netsim.CrossTraffic
-	cfg   Config
-}
-
-// Node IDs used by the builder: clients at 1..N, plain switch at 1000,
-// PMNet devices at 2000+i, servers at 3000+i, noise host at 4000.
-const (
-	torID    netsim.NodeID = 1000
-	devBase  netsim.NodeID = 2000
-	serverID netsim.NodeID = 3000
-	noiseID  netsim.NodeID = 4000
-)
-
-// NewTestbed builds the cluster described by cfg.
-func NewTestbed(cfg Config) *Testbed {
+// applyDefaults completes cfg with the paper-calibrated defaults shared by
+// the single-engine and sharded builders, returning the resolved link model.
+func (cfg *Config) applyDefaults() netsim.LinkConfig {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
 	}
@@ -139,6 +121,58 @@ func NewTestbed(cfg Config) *Testbed {
 	}
 	if cfg.LossRate > 0 {
 		link.LossRate = cfg.LossRate
+	}
+	return link
+}
+
+// Testbed is a built cluster ready to run on its virtual clock.
+//
+// Concurrency contract: a Testbed is single-threaded — one goroutine builds
+// it, drives it, and reads its results — but distinct Testbeds are fully
+// independent and may run concurrently (internal/harness executes experiment
+// cells on a worker pool). Every piece of mutable state (event engine,
+// virtual clock, PRNG streams, arenas, queues) is allocated per testbed in
+// NewTestbed; the only package-level state any of it touches (engine
+// factories, calibrated latency models, error sentinels) is written once at
+// init and read-only afterwards. Nothing here reads wall-clock time, so
+// scheduling order across testbeds cannot leak into results: a run's output
+// is a pure function of its Config (and so of the seed baked into it).
+type Testbed struct {
+	Engine   *sim.Engine
+	Network  *netsim.Network
+	Sessions []*client.Session
+	Clients  []*netsim.Host
+	Server   *server.Server      // the first (or only) server
+	Servers  []*server.Server    // every server in the rack
+	Devices  []*dataplane.Device // empty for ClientServer
+	ToR      *netsim.Switch      // the plain switch merging client traffic
+
+	cross *netsim.CrossTraffic
+	cfg   Config
+
+	// Sharded-path state (nil on the classic single-engine path). Engine
+	// above is engines[0] so existing accessors stay valid; aggregate reads
+	// go through EventsRun/NetworkStats/Now, which dispatch on runner.
+	fab         *netsim.Fabric
+	runner      *pdes.Runner
+	engines     []*sim.Engine
+	partTracers []*trace.Tracer
+}
+
+// Node IDs used by the builder: clients at 1..N, plain switch at 1000,
+// PMNet devices at 2000+i, servers at 3000+i, noise host at 4000.
+const (
+	torID    netsim.NodeID = 1000
+	devBase  netsim.NodeID = 2000
+	serverID netsim.NodeID = 3000
+	noiseID  netsim.NodeID = 4000
+)
+
+// NewTestbed builds the cluster described by cfg.
+func NewTestbed(cfg Config) *Testbed {
+	link := cfg.applyDefaults()
+	if cfg.Shards > 0 && cfg.CrossTrafficGbps == 0 {
+		return newShardedTestbed(cfg, link)
 	}
 
 	eng := sim.NewEngine()
@@ -275,13 +309,71 @@ func NewTestbed(cfg Config) *Testbed {
 func (tb *Testbed) Session(i int) *client.Session { return tb.Sessions[i] }
 
 // Run drives the virtual clock until no events remain.
-func (tb *Testbed) Run() { tb.Engine.Run() }
+func (tb *Testbed) Run() {
+	if tb.runner != nil {
+		tb.runner.Run()
+		tb.foldTrace()
+		return
+	}
+	tb.Engine.Run()
+}
 
 // RunFor advances the virtual clock by d.
-func (tb *Testbed) RunFor(d Time) { tb.Engine.RunUntil(tb.Engine.Now() + d) }
+func (tb *Testbed) RunFor(d Time) {
+	if tb.runner != nil {
+		tb.runner.RunUntil(tb.runner.Now() + d)
+		tb.foldTrace()
+		return
+	}
+	tb.Engine.RunUntil(tb.Engine.Now() + d)
+}
 
 // Now returns the current virtual time.
-func (tb *Testbed) Now() Time { return tb.Engine.Now() }
+func (tb *Testbed) Now() Time {
+	if tb.runner != nil {
+		return tb.runner.Now()
+	}
+	return tb.Engine.Now()
+}
+
+// Sharded reports whether the testbed runs on the conservative-PDES path.
+func (tb *Testbed) Sharded() bool { return tb.runner != nil }
+
+// Shards returns the shard (engine) count — 1 for a single-engine testbed.
+func (tb *Testbed) Shards() int {
+	if tb.runner == nil {
+		return 1
+	}
+	return len(tb.engines)
+}
+
+// EventsRun returns the events executed across the whole testbed. The total
+// is deterministic and identical in every shard configuration: sharding
+// relocates events between engines, it never adds or removes any.
+func (tb *Testbed) EventsRun() uint64 {
+	if tb.runner != nil {
+		return tb.runner.EventsRun()
+	}
+	return tb.Engine.EventsRun()
+}
+
+// NetworkStats returns delivery counters summed across the whole fabric (or
+// the single network's counters on the classic path).
+func (tb *Testbed) NetworkStats() netsim.Stats {
+	if tb.fab != nil {
+		return tb.fab.Stats()
+	}
+	return tb.Network.Stats()
+}
+
+// foldTrace merges the per-partition tracers into cfg.Trace after a sharded
+// run segment. AdoptMerged recomputes from scratch, so repeated Run/RunFor
+// calls stay correct.
+func (tb *Testbed) foldTrace() {
+	if tb.cfg.Trace != nil && len(tb.partTracers) > 0 {
+		tb.cfg.Trace.AdoptMerged(tb.partTracers)
+	}
+}
 
 // CrashServer power-fails the server (§VI-B6's pulled power cord).
 func (tb *Testbed) CrashServer() { tb.Server.Crash() }
@@ -315,12 +407,18 @@ func (tb *Testbed) NodeName(id uint64) string {
 // members; device counters are per chain position (dev0 is client-adjacent).
 func (tb *Testbed) Counters() *trace.Registry {
 	reg := &trace.Registry{}
-	reg.Add("engine.events", tb.Engine.EventsRun)
-	net := tb.Network
-	reg.Add("net.delivered", func() uint64 { return net.Stats().Delivered })
-	reg.Add("net.dropped_full", func() uint64 { return net.Stats().DroppedFull })
-	reg.Add("net.dropped_rand", func() uint64 { return net.Stats().DroppedRand })
-	reg.Add("net.dropped_dead", func() uint64 { return net.Stats().DroppedDead })
+	reg.Add("engine.events", tb.EventsRun)
+	reg.Add("net.delivered", func() uint64 { return tb.NetworkStats().Delivered })
+	reg.Add("net.dropped_full", func() uint64 { return tb.NetworkStats().DroppedFull })
+	reg.Add("net.dropped_rand", func() uint64 { return tb.NetworkStats().DroppedRand })
+	reg.Add("net.dropped_dead", func() uint64 { return tb.NetworkStats().DroppedDead })
+	if tb.fab != nil {
+		// Partition count is a pure function of the topology — identical at
+		// every shard count — so it is safe in the byte-compared counters
+		// (the shard count itself is not, and lives in the perf block).
+		parts := uint64(tb.fab.Parts())
+		reg.Add("sim.partitions", func() uint64 { return parts })
+	}
 
 	sessions := tb.Sessions
 	sumClient := func(pick func(client.Stats) uint64) func() uint64 {

@@ -1,0 +1,227 @@
+package pmnet
+
+import (
+	"fmt"
+
+	"pmnet/internal/client"
+	"pmnet/internal/dataplane"
+	"pmnet/internal/netsim"
+	"pmnet/internal/server"
+	"pmnet/internal/sim"
+	"pmnet/internal/sim/pdes"
+	"pmnet/internal/trace"
+)
+
+// maxClientGroups bounds the number of client partitions. Clients are
+// independent of each other (they only meet at the ToR), so they could each
+// be a partition — but every partition costs a drain scan and a heap peek per
+// epoch, and epochs are ~sub-microsecond, so hundreds of partitions would
+// drown the win. Eight groups keeps per-epoch bookkeeping flat while still
+// feeding more shards than the testbed ever usefully runs.
+const maxClientGroups = 8
+
+// planPartitions computes the topology partition plan for a sharded testbed.
+// The plan is a pure function of the Config — it must never depend on
+// cfg.Shards, or `-shards 1` and `-shards N` would produce different event
+// interleavings (DESIGN.md §10.4 rests on this).
+//
+// Layout:
+//
+//   - Partition 0 is the core: the ToR switch, plus the PMNet devices when
+//     cfg.Device.Pin is PinWithToR.
+//   - The device chain gets its own partition under PinChain (the default):
+//     the chain's 200 ns patch links stay internal, so they never constrain
+//     the lookahead.
+//   - All servers share one partition (a plain cfg.Handler is one shared
+//     instance across the rack, so servers must stay on one engine). Under
+//     PMNetNIC the 100 ns bump-in-the-wire link would collapse the lookahead,
+//     so the servers are glued into the device partition instead.
+//   - Clients are split into min(Clients, maxClientGroups) groups, client i
+//     in group i%groups; their only neighbor is the ToR over a full-latency
+//     link, which is what the lookahead ends up being.
+type partitionPlan struct {
+	nparts     int
+	corePart   int // ToR (and PinWithToR devices)
+	devPart    int // where dataplane devices are built
+	serverPart int // where server hosts are built
+	groups     int // client group count
+	clientBase int // first client partition; client i -> clientBase + i%groups
+}
+
+func planPartitions(cfg *Config) partitionPlan {
+	p := partitionPlan{corePart: 0, nparts: 1}
+	chainPart := -1
+	if cfg.Design != ClientServer && cfg.Device.Pin == dataplane.PinChain {
+		chainPart = p.nparts
+		p.nparts++
+	}
+	p.devPart = p.corePart
+	if chainPart >= 0 {
+		p.devPart = chainPart
+	}
+	if cfg.Design == PMNetNIC {
+		p.serverPart = p.devPart
+	} else {
+		p.serverPart = p.nparts
+		p.nparts++
+	}
+	p.groups = cfg.Clients
+	if p.groups > maxClientGroups {
+		p.groups = maxClientGroups
+	}
+	p.clientBase = p.nparts
+	p.nparts += p.groups
+	return p
+}
+
+// newShardedTestbed builds the same cluster as NewTestbed's single-engine
+// path, but over a partitioned netsim.Fabric driven by a conservative-PDES
+// runner. The build order (and so the RNG fork order) mirrors the classic
+// builder; only the Network each layer lands on differs. cfg already has
+// defaults applied and CrossTrafficGbps == 0 (NewTestbed guarantees both).
+func newShardedTestbed(cfg Config, link netsim.LinkConfig) *Testbed {
+	plan := planPartitions(&cfg)
+	shards := cfg.Shards
+	if shards > plan.nparts {
+		shards = plan.nparts // extra engines would sit empty at every epoch
+	}
+	engines := make([]*sim.Engine, shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	assign := make([]int, plan.nparts)
+	for i := range assign {
+		assign[i] = i % shards
+	}
+
+	root := sim.NewRand(cfg.Seed + 1)
+	fab := netsim.NewFabric(engines, assign, root)
+
+	tb := &Testbed{
+		Engine:  engines[0],
+		Network: fab.Part(0),
+		cfg:     cfg,
+		fab:     fab,
+		engines: engines,
+	}
+
+	// Per-partition tracers, sized so the fleet's total ring matches the
+	// parent's capacity. The split is a function of the partition count, so
+	// a partition's drop behavior is shard-count-invariant. Set before any
+	// layer is built: layers cache their network's tracer at construction.
+	if cfg.Trace != nil {
+		partCap := cfg.Trace.Capacity() / plan.nparts
+		if partCap < 1 {
+			partCap = 1
+		}
+		tb.partTracers = make([]*trace.Tracer, plan.nparts)
+		for i := range tb.partTracers {
+			t := trace.NewTracer(partCap)
+			t.Bind(engines[assign[i]])
+			fab.Part(i).SetTracer(t)
+			tb.partTracers[i] = t
+		}
+	}
+
+	clientStack := netsim.ClientKernelStack
+	serverStack := netsim.ServerKernelStack
+	if cfg.Stacks == BypassStack {
+		clientStack = netsim.BypassStack
+		serverStack = netsim.BypassStack
+	}
+
+	// Server hosts (a rack behind the same ToR / device chain).
+	serverHosts := make([]*netsim.Host, cfg.Servers)
+	for i := range serverHosts {
+		serverHosts[i] = netsim.NewHost(fab.Part(plan.serverPart), serverID+netsim.NodeID(i),
+			fmt.Sprintf("server-%d", i), serverStack, cfg.ServerWorkers, root.Fork())
+	}
+
+	// Plain ToR switch merging client traffic (§VI-A1).
+	tb.ToR = netsim.NewSwitch(fab.Part(plan.corePart), torID, "tor", netsim.DefaultSwitchLatency)
+
+	// Client hosts behind the ToR.
+	for i := 0; i < cfg.Clients; i++ {
+		part := plan.clientBase + i%plan.groups
+		h := netsim.NewHost(fab.Part(part), netsim.NodeID(i+1), fmt.Sprintf("client-%d", i),
+			clientStack, 1, root.Fork())
+		tb.Clients = append(tb.Clients, h)
+		fab.Connect(h.ID(), torID, link)
+	}
+
+	// PMNet devices between ToR and server (switch chain) or at the server
+	// (NIC). The chain implements §IV-C replication.
+	var devIDs []netsim.NodeID
+	if cfg.Design != ClientServer {
+		devCfg := cfg.Device
+		n := cfg.Replication
+		for i := 0; i < n; i++ {
+			dc := devCfg
+			if cfg.CacheEntries > 0 && i == n-1 {
+				dc.CacheEntries = cfg.CacheEntries
+			}
+			id := devBase + netsim.NodeID(i)
+			d := dataplane.New(fab.Part(plan.devPart), id, fmt.Sprintf("pmnet-%d", i), dc)
+			tb.Devices = append(tb.Devices, d)
+			devIDs = append(devIDs, id)
+		}
+		prev := torID
+		for i, id := range devIDs {
+			l := link
+			if i > 0 {
+				l.PropDelay = 200 * sim.Nanosecond
+			}
+			fab.Connect(prev, id, l)
+			prev = id
+		}
+		last := link
+		if cfg.Design == PMNetNIC {
+			last.PropDelay = 100 * sim.Nanosecond
+		}
+		for i := range serverHosts {
+			fab.Connect(prev, serverID+netsim.NodeID(i), last)
+		}
+	} else {
+		for i := range serverHosts {
+			fab.Connect(torID, serverID+netsim.NodeID(i), link)
+		}
+	}
+
+	// Server libraries (crash hooks exactly as on the classic path).
+	for i, host := range serverHosts {
+		h := cfg.HandlerFactory(i)
+		srvCfg := server.Config{Devices: devIDs}
+		if ch, ok := server.As[CrashFaultHandler](h); ok {
+			srvCfg.OnCrash = ch.Crash
+			srvCfg.OnRestart = ch.Restart
+		}
+		tb.Servers = append(tb.Servers, server.New(host, h, srvCfg))
+	}
+	tb.Server = tb.Servers[0]
+
+	// Client sessions.
+	mode := client.ModeBaseline
+	required := 0
+	if cfg.Design != ClientServer {
+		mode = client.ModePMNet
+		required = cfg.Replication
+	}
+	for i, h := range tb.Clients {
+		sess := client.New(h, client.Config{
+			Session:      uint16(i + 1),
+			Server:       serverID + netsim.NodeID(i%cfg.Servers),
+			Mode:         mode,
+			RequiredAcks: required,
+			Timeout:      cfg.Timeout,
+		})
+		tb.Sessions = append(tb.Sessions, sess)
+	}
+
+	fab.Freeze()
+	runnerShards := make([]pdes.Shard, shards)
+	for s := range runnerShards {
+		runnerShards[s] = pdes.Shard{Eng: engines[s], Drain: fab.DrainFunc(s)}
+	}
+	tb.runner = pdes.New(runnerShards, fab.Lookahead(), shards)
+	return tb
+}
