@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci bench bench-json microbench trace-smoke \
+.PHONY: all build test race vet lint lint-sarif ci bench bench-json microbench trace-smoke \
 	shard-smoke bench-baseline bench-regression benchdiff
 
 all: build test
@@ -20,6 +20,12 @@ vet:
 # Enforce the determinism & persistence invariants (see README).
 lint:
 	$(GO) run ./cmd/pmnetlint ./...
+
+# Same audit as `lint`, emitted as a SARIF 2.1.0 log (lint.sarif) for code
+# scanners; the exit code still reflects findings, so `make lint` semantics
+# are unchanged and this target fails the same way.
+lint-sarif:
+	$(GO) run ./cmd/pmnetlint -format sarif ./... > lint.sarif
 
 # Everything CI runs, in the same order.
 ci: build test race vet lint trace-smoke shard-smoke

@@ -1,14 +1,21 @@
 // Command pmnetlint enforces pmnet's determinism and persistence
 // invariants. It walks the module's packages, runs the analyzers in
-// internal/analysis, and prints findings as file:line:col diagnostics.
+// internal/analysis, and prints findings as file:line:col diagnostics or a
+// SARIF 2.1.0 log.
 //
 // Usage:
 //
-//	pmnetlint [./... | package-dir ...]
+//	pmnetlint [flags] [./... | package-dir ...]
+//
+// Flags:
+//
+//	-format text|sarif   output format (default text)
+//	-baseline FILE       suppress findings recorded in this JSON baseline
+//	-write-baseline FILE write current findings to FILE as a baseline, exit 0
 //
 // Exit codes (machine-readable, for CI):
 //
-//	0  no findings
+//	0  no findings (or every finding baselined)
 //	1  findings reported
 //	2  usage, parse or type-check error
 //
@@ -18,6 +25,11 @@
 //   - randsource:   no math/rand or crypto/rand imports in model code
 //   - maprange:     no order-sensitive map iteration in event-ordering packages
 //   - persistcover: no pmem write without a persist barrier
+//   - persistorder: a persist barrier on every CFG path from pmem write to ACK send
+//   - boundedwork:  dataplane loop bounds are constants, parameter lengths, or table sizes
+//   - syncpool:     buffer pools in model code go through the deterministic pool
+//   - sharedstate:  no cross-cell shared mutable state in the sharded simulator
+//   - ignoreaudit:  every //pmnetlint:ignore still suppresses a real finding
 //
 // A finding is suppressed by a directive on its line or the line above:
 //
@@ -25,7 +37,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -33,37 +47,50 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("pmnetlint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	format := flags.String("format", "text", "output format: text or sarif")
+	baselinePath := flags.String("baseline", "", "JSON baseline file; findings it covers are not reported")
+	writeBaseline := flags.String("write-baseline", "", "write current findings to this JSON baseline file and exit 0")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(stderr, "pmnetlint: unknown -format %q (want text or sarif)\n", *format)
+		return 2
+	}
+
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmnetlint:", err)
+		fmt.Fprintln(stderr, "pmnetlint:", err)
 		return 2
 	}
 	root, modPath, err := analysis.FindModule(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmnetlint:", err)
+		fmt.Fprintln(stderr, "pmnetlint:", err)
 		return 2
 	}
 	loader := analysis.NewLoader(root, modPath)
 
 	var targets []analysis.PackageDir
-	all := len(args) == 0
-	for _, a := range args {
+	all := flags.NArg() == 0
+	for _, a := range flags.Args() {
 		if a == "./..." || a == "..." {
 			all = true
 			continue
 		}
 		abs, err := filepath.Abs(a)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pmnetlint: %s: %v\n", a, err)
+			fmt.Fprintf(stderr, "pmnetlint: %s: %v\n", a, err)
 			return 2
 		}
 		rel, err := filepath.Rel(root, abs)
 		if err != nil || rel == ".." || filepath.IsAbs(rel) || (len(rel) > 2 && rel[:3] == "..\x2f") {
-			fmt.Fprintf(os.Stderr, "pmnetlint: %s is outside module %s\n", a, modPath)
+			fmt.Fprintf(stderr, "pmnetlint: %s is outside module %s\n", a, modPath)
 			return 2
 		}
 		ip := modPath
@@ -75,7 +102,7 @@ func run(args []string) int {
 	if all {
 		pkgs, err := loader.ModulePackages()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pmnetlint:", err)
+			fmt.Fprintln(stderr, "pmnetlint:", err)
 			return 2
 		}
 		targets = pkgs
@@ -86,24 +113,77 @@ func run(args []string) int {
 	for _, t := range targets {
 		pkg, err := loader.LoadDir(t.Dir, t.ImportPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pmnetlint:", err)
+			fmt.Fprintln(stderr, "pmnetlint:", err)
 			status = 2
 			continue
 		}
 		findings = append(findings, analysis.RunPackage(pkg, analysis.ForPackage(modPath, t.ImportPath))...)
 	}
-	for _, f := range findings {
-		rel, err := filepath.Rel(cwd, f.Pos.Filename)
-		if err == nil {
-			f.Pos.Filename = rel
+
+	// Baseline and SARIF artifacts are committed/uploaded: key them on
+	// module-root-relative slash paths so they are stable across checkouts.
+	rootRel := make([]analysis.Finding, len(findings))
+	for i, f := range findings {
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			f.Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Println(f)
+		rootRel[i] = f
+	}
+
+	if *writeBaseline != "" {
+		bf, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "pmnetlint:", err)
+			return 2
+		}
+		werr := analysis.WriteBaseline(bf, rootRel)
+		if cerr := bf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "pmnetlint:", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "pmnetlint: wrote %d finding(s) to baseline %s\n", len(rootRel), *writeBaseline)
+		return status
+	}
+
+	if *baselinePath != "" {
+		bf, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "pmnetlint:", err)
+			return 2
+		}
+		baseline, err := analysis.ReadBaseline(bf)
+		bf.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "pmnetlint:", err)
+			return 2
+		}
+		rootRel = baseline.Filter(rootRel)
+	}
+
+	if *format == "sarif" {
+		if err := analysis.WriteSARIF(stdout, rootRel); err != nil {
+			fmt.Fprintln(stderr, "pmnetlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range rootRel {
+			// Text diagnostics are for humans at the terminal: print paths
+			// relative to where they ran the tool.
+			abs := filepath.Join(root, filepath.FromSlash(f.Pos.Filename))
+			if rel, err := filepath.Rel(cwd, abs); err == nil {
+				f.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if status != 0 {
 		return status
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "pmnetlint: %d finding(s)\n", len(findings))
+	if len(rootRel) > 0 {
+		fmt.Fprintf(stderr, "pmnetlint: %d finding(s)\n", len(rootRel))
 		return 1
 	}
 	return 0

@@ -76,8 +76,12 @@ var Analyzers = []*Analyzer{
 	RandsourceAnalyzer,
 	MaprangeAnalyzer,
 	PersistcoverAnalyzer,
+	PersistorderAnalyzer,
+	BoundedworkAnalyzer,
 	SyncpoolAnalyzer,
 	SharedstateAnalyzer,
+	// ignoreaudit runs last: it reports on what the others suppressed.
+	IgnoreauditAnalyzer,
 }
 
 func byName(name string) *Analyzer {
@@ -169,26 +173,47 @@ func directives(fset *token.FileSet, file *ast.File, report func(Finding)) map[i
 // RunPackage executes the given analyzers over pkg and returns the surviving
 // findings (suppressed ones removed, malformed directives added), sorted by
 // position. Scope is NOT consulted here — callers pick the analyzer set.
+//
+// When the run set includes ignoreaudit, every directive is additionally
+// audited: one that suppressed nothing becomes a finding itself (stale
+// ignore), as does one naming an analyzer outside the run set (out-of-scope
+// ignore). Audit findings are attributed to ignoreaudit and are themselves
+// unsuppressable.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	// A directive on line L suppresses findings on L (trailing comment) and
-	// L+1 (directive on the preceding line), per file, per analyzer.
+	// L+1 (directive on the preceding line), per file, per analyzer. Each
+	// directive carries a usage bit for the ignoreaudit pass; both covered
+	// lines share one record.
 	type fileLine struct {
 		file string
 		line int
 	}
-	ignoreSet := make(map[string]map[fileLine]bool)
+	type dirUse struct {
+		d    directive
+		used bool
+	}
+	var uses []*dirUse
+	suppress := make(map[string]map[fileLine][]*dirUse)
 	for _, f := range pkg.Files {
 		dirs := directives(pkg.Fset, f, func(fd Finding) { findings = append(findings, fd) })
 		for line, ds := range dirs {
 			for _, d := range ds {
-				if ignoreSet[d.analyzer] == nil {
-					ignoreSet[d.analyzer] = make(map[fileLine]bool)
+				u := &dirUse{d: d}
+				uses = append(uses, u)
+				if suppress[d.analyzer] == nil {
+					suppress[d.analyzer] = make(map[fileLine][]*dirUse)
 				}
 				fn := pkg.Fset.Position(d.pos).Filename
-				ignoreSet[d.analyzer][fileLine{fn, line}] = true
-				ignoreSet[d.analyzer][fileLine{fn, line + 1}] = true
+				suppress[d.analyzer][fileLine{fn, line}] = append(suppress[d.analyzer][fileLine{fn, line}], u)
+				suppress[d.analyzer][fileLine{fn, line + 1}] = append(suppress[d.analyzer][fileLine{fn, line + 1}], u)
 			}
+		}
+	}
+	auditIgnores := false
+	for _, a := range analyzers {
+		if a.Name == IgnoreauditAnalyzer.Name {
+			auditIgnores = true
 		}
 	}
 	for _, a := range analyzers {
@@ -196,12 +221,32 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 		pass := &Pass{Pkg: pkg}
 		pass.report = func(_ string, pos token.Pos, format string, args ...any) {
 			p := pkg.Fset.Position(pos)
-			if ignoreSet[a.Name][fileLine{p.Filename, p.Line}] {
+			if us := suppress[a.Name][fileLine{p.Filename, p.Line}]; len(us) > 0 {
+				for _, u := range us {
+					u.used = true
+				}
 				return
 			}
 			findings = append(findings, Finding{Pos: p, Analyzer: a.Name, Message: fmt.Sprintf(format, args...)})
 		}
 		a.Run(pass)
+	}
+	if auditIgnores {
+		ran := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for _, u := range uses {
+			pos := pkg.Fset.Position(u.d.pos)
+			switch {
+			case !ran[u.d.analyzer]:
+				findings = append(findings, Finding{Pos: pos, Analyzer: IgnoreauditAnalyzer.Name,
+					Message: fmt.Sprintf("out-of-scope ignore: %s does not audit this package, so this directive can never suppress anything", u.d.analyzer)})
+			case !u.used || u.d.analyzer == IgnoreauditAnalyzer.Name:
+				findings = append(findings, Finding{Pos: pos, Analyzer: IgnoreauditAnalyzer.Name,
+					Message: fmt.Sprintf("stale ignore: no %s finding left to suppress — delete the directive (its reason was: %s)", u.d.analyzer, u.d.reason)})
+			}
+		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]

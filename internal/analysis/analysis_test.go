@@ -63,8 +63,15 @@ func parseWants(t *testing.T, pkg *Package) []*want {
 
 func checkFixture(t *testing.T, a *Analyzer, name string) {
 	t.Helper()
+	checkFixtureWith(t, []*Analyzer{a}, name)
+}
+
+// checkFixtureWith runs a specific analyzer set over a fixture; ignoreaudit
+// needs company (its findings are defined by what the others suppress).
+func checkFixtureWith(t *testing.T, as []*Analyzer, name string) {
+	t.Helper()
 	pkg := loadFixture(t, name)
-	findings := RunPackage(pkg, []*Analyzer{a})
+	findings := RunPackage(pkg, as)
 	wants := parseWants(t, pkg)
 	for _, f := range findings {
 		ok := false
@@ -91,6 +98,12 @@ func TestMaprangeFixture(t *testing.T)     { checkFixture(t, MaprangeAnalyzer, "
 func TestPersistcoverFixture(t *testing.T) { checkFixture(t, PersistcoverAnalyzer, "persistcover") }
 func TestSyncpoolFixture(t *testing.T)     { checkFixture(t, SyncpoolAnalyzer, "syncpool") }
 func TestSharedstateFixture(t *testing.T)  { checkFixture(t, SharedstateAnalyzer, "sharedstate") }
+func TestPersistorderFixture(t *testing.T) { checkFixture(t, PersistorderAnalyzer, "persistorder") }
+func TestBoundedworkFixture(t *testing.T)  { checkFixture(t, BoundedworkAnalyzer, "boundedwork") }
+
+func TestIgnoreauditFixture(t *testing.T) {
+	checkFixtureWith(t, []*Analyzer{MaprangeAnalyzer, IgnoreauditAnalyzer}, "ignoreaudit")
+}
 
 // TestDirectiveValidation: a malformed or unknown-analyzer directive is
 // itself a finding and does not suppress the finding beneath it.
@@ -150,6 +163,19 @@ func TestScopes(t *testing.T) {
 		{MaprangeAnalyzer, "pmnet/internal/kv", false},
 		{PersistcoverAnalyzer, "pmnet/internal/pmobj", true},
 		{PersistcoverAnalyzer, "pmnet/internal/analysis", false},
+		{PersistorderAnalyzer, "pmnet/internal/server", true},
+		{PersistorderAnalyzer, "pmnet/internal/dataplane", true},
+		{PersistorderAnalyzer, "pmnet/internal/pmem", false},
+		{PersistorderAnalyzer, "pmnet/internal/pmobj", false},
+		{PersistorderAnalyzer, "pmnet/internal/analysis/testdata/src/persistorder", true},
+		{BoundedworkAnalyzer, "pmnet/internal/dataplane", true},
+		{BoundedworkAnalyzer, "pmnet/internal/server", false},
+		{BoundedworkAnalyzer, "pmnet/internal/sim", false},
+		{BoundedworkAnalyzer, "pmnet/internal/analysis/testdata/src/boundedwork", true},
+		{IgnoreauditAnalyzer, "pmnet/internal/server", true},
+		{IgnoreauditAnalyzer, "pmnet/internal/analysis", true},
+		{IgnoreauditAnalyzer, "pmnet/cmd/pmnetbench", true},
+		{IgnoreauditAnalyzer, "pmnet/examples/quickstart", true},
 		{SyncpoolAnalyzer, "pmnet/internal/sim", true},
 		{SyncpoolAnalyzer, "pmnet/internal/netsim", true},
 		{SyncpoolAnalyzer, "pmnet/internal/harness", true},

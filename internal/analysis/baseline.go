@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Committed-baseline mode: a baseline file records the findings a codebase
+// has accepted (for incremental adoption of a new analyzer), and subsequent
+// runs report only what the baseline does not cover. Entries are keyed by
+// (analyzer, file, message) with a count — deliberately no line numbers, so
+// unrelated edits above a baselined finding do not un-baseline it. N
+// identical findings in one file consume N baseline slots: fixing some of
+// them keeps the rest covered, adding another one is reported.
+
+// BaselineEntry is one accepted finding class in the baseline file.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// Baseline is the in-memory form: accepted finding counts by key.
+type Baseline map[baselineKey]int
+
+// WriteBaseline serializes findings as a sorted, indented JSON baseline.
+// Finding filenames should already be module-root-relative so the file is
+// stable when committed.
+func WriteBaseline(w io.Writer, findings []Finding) error {
+	counts := make(Baseline)
+	for _, f := range findings {
+		counts[baselineKey{f.Analyzer, f.Pos.Filename, f.Message}]++
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for k, n := range counts {
+		entries = append(entries, BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	enc, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// ReadBaseline parses a baseline file.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var entries []BaselineEntry
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&entries); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	b := make(Baseline, len(entries))
+	for _, e := range entries {
+		if e.Count <= 0 {
+			e.Count = 1
+		}
+		b[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	return b, nil
+}
+
+// Filter returns the findings not covered by the baseline. The receiver is
+// not modified.
+func (b Baseline) Filter(findings []Finding) []Finding {
+	remaining := make(Baseline, len(b))
+	for k, n := range b {
+		remaining[k] = n
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, f.Pos.Filename, f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BoundedworkAnalyzer enforces the line-rate discipline on per-packet
+// dataplane code: every loop's trip count must be statically tied to a
+// constant, a parameter's length, or a table size. A real switch pipeline
+// gives each packet a fixed number of stages and a fixed table budget
+// (Packet Transactions, PAPERS.md; ROADMAP item 3's stage-budget precursor);
+// a loop whose bound is "until this pointer chain ends" or "forever" is
+// exactly the construct that cannot compile to such a pipeline — and in the
+// simulator it is work the per-packet cost model cannot account for.
+//
+// Accepted bounds: constant expressions, len/cap of anything,
+// Len/Cap/Size-style method calls, struct fields (table geometry), function
+// parameters, and locals derived from only those. Ranging over a slice,
+// array, map, or string is always bounded by the data; ranging over a
+// channel or an iterator function is not.
+var BoundedworkAnalyzer = &Analyzer{
+	Name: "boundedwork",
+	Doc:  "per-packet dataplane loops must have a constant, parameter-length, or table-size bound",
+	Scope: func(modulePath, pkgPath string) bool {
+		return fixtureCorpus(modulePath, pkgPath) ||
+			pkgPath == modulePath+"/internal/dataplane"
+	},
+	Run: runBoundedwork,
+}
+
+func runBoundedwork(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bw := &bwFunc{pass: pass, info: info,
+				params:  make(map[*types.Var]bool),
+				assigns: make(map[*types.Var][]ast.Expr),
+				walking: make(map[*types.Var]bool),
+			}
+			bw.collect(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					bw.checkFor(n)
+				case *ast.RangeStmt:
+					bw.checkRange(n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// bwFunc holds the per-function environment: which objects are parameters
+// (always bounded — the caller sized them) and what each local was assigned
+// from.
+type bwFunc struct {
+	pass    *Pass
+	info    *types.Info
+	params  map[*types.Var]bool
+	assigns map[*types.Var][]ast.Expr
+	walking map[*types.Var]bool // cycle guard for derived-local chains
+}
+
+// collect indexes parameters (of the declaration and of any nested function
+// literal — a literal's own loops are checked in the same walk) and every
+// assignment reaching a local.
+func (bw *bwFunc) collect(fd *ast.FuncDecl) {
+	record := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				if v, ok := bw.info.Defs[name].(*types.Var); ok {
+					bw.params[v] = true
+				}
+			}
+		}
+	}
+	record(fd.Recv)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncType:
+			record(n.Params)
+			record(n.Results)
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				// x op= y mutates x from its old value: self-referential,
+				// which the cycle guard resolves to unbounded.
+				for _, lhs := range n.Lhs {
+					bw.recordAssign(lhs, lhs)
+				}
+			} else if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					bw.recordAssign(lhs, n.Rhs[i])
+				}
+			} else {
+				// x, y := f(): a multi-value call; the call decides.
+				for _, lhs := range n.Lhs {
+					bw.recordAssign(lhs, n.Rhs[0])
+				}
+			}
+		case *ast.IncDecStmt:
+			// i++ / i--: an induction variable is not a bound, however
+			// constant its initializer — poison it like an op-assign.
+			bw.recordAssign(n.X, n.X)
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					bw.recordAssign(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (bw *bwFunc) recordAssign(lhs ast.Expr, rhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if v, ok := bw.info.ObjectOf(id).(*types.Var); ok {
+		bw.assigns[v] = append(bw.assigns[v], rhs)
+	}
+}
+
+func (bw *bwFunc) checkFor(s *ast.ForStmt) {
+	if s.Cond == nil {
+		bw.pass.Reportf(s.For,
+			"unconditional loop in per-packet code: every dataplane loop needs a constant, parameter-length, or table-size bound (line-rate discipline)")
+		return
+	}
+	if !bw.condBounded(s.Cond) {
+		bw.pass.Reportf(s.For,
+			"loop bound is not a constant, parameter length, or table size: per-packet work must be statically bounded (line-rate discipline)")
+	}
+}
+
+func (bw *bwFunc) checkRange(s *ast.RangeStmt) {
+	t := bw.info.TypeOf(s.X)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		bw.pass.Reportf(s.For,
+			"range over a channel is unbounded per-packet work: drain a bounded batch instead (line-rate discipline)")
+	case *types.Signature:
+		bw.pass.Reportf(s.For,
+			"range over an iterator function has no static bound: per-packet work must be statically bounded (line-rate discipline)")
+	case *types.Basic:
+		// for range n (integer): bounded iff n is.
+		if u.Info()&types.IsInteger != 0 && !bw.bounded(s.X) {
+			bw.pass.Reportf(s.For,
+				"integer range bound is not a constant, parameter, or table size: per-packet work must be statically bounded (line-rate discipline)")
+		}
+	}
+	// Slices, arrays, maps, strings: the data structure is the bound.
+}
+
+// condBounded reports whether a loop condition guarantees a statically
+// accountable trip count: a comparison against a bounded expression, or a
+// conjunction/disjunction built from such comparisons.
+func (bw *bwFunc) condBounded(cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ, token.EQL:
+			return bw.bounded(e.X) || bw.bounded(e.Y)
+		case token.LAND:
+			// One bounded conjunct bounds the loop.
+			return bw.condBounded(e.X) || bw.condBounded(e.Y)
+		case token.LOR:
+			// The loop runs while either holds: both must be bounded.
+			return bw.condBounded(e.X) && bw.condBounded(e.Y)
+		}
+	}
+	return false
+}
+
+// bounded reports whether e's value is statically tied to a constant,
+// parameter, length/capacity, or table size.
+func (bw *bwFunc) bounded(e ast.Expr) bool {
+	if tv, ok := bw.info.Types[e]; ok {
+		if tv.Value != nil {
+			return true // constant-folded by the type checker
+		}
+		// A bound is a count. Pointers (nil-terminated chases), booleans
+		// (flag spins), channels: none of these name a quantity of work.
+		b, isBasic := tv.Type.Underlying().(*types.Basic)
+		if !isBasic || b.Info()&types.IsInteger == 0 {
+			return false
+		}
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return bw.bounded(e.X)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.XOR:
+			return bw.bounded(e.X)
+		}
+	case *ast.BinaryExpr:
+		return bw.bounded(e.X) && bw.bounded(e.Y)
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "len" || fun.Name == "cap" {
+				return true
+			}
+		case *ast.SelectorExpr:
+			// Table-geometry accessors.
+			switch fun.Sel.Name {
+			case "Len", "Cap", "Size":
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		// A struct field read: table geometry / fixed configuration.
+		return true
+	case *ast.Ident:
+		v, ok := bw.info.ObjectOf(e).(*types.Var)
+		if !ok {
+			return false
+		}
+		if bw.params[v] {
+			return true
+		}
+		rhss := bw.assigns[v]
+		if len(rhss) == 0 || bw.walking[v] {
+			return false
+		}
+		bw.walking[v] = true
+		ok = true
+		for _, rhs := range rhss {
+			if !bw.bounded(rhs) {
+				ok = false
+				break
+			}
+		}
+		delete(bw.walking, v)
+		return ok
+	}
+	return false
+}

@@ -1,0 +1,434 @@
+package analysis
+
+// Intraprocedural control-flow graph construction. The CFG is the substrate
+// for the path-sensitive analyzers (persistorder today; the MAT/IR stage
+// checks of ROADMAP item 3 tomorrow): persistcover-style "does a barrier
+// appear anywhere in the body" questions don't need one, but "does a barrier
+// intervene on EVERY path between this write and that ACK" does.
+//
+// The builder covers the statement forms that occur in model code: blocks,
+// if/else, for (all three clauses), range, switch, type switch, select,
+// labeled break/continue, goto, return, and defer. Deferred calls are
+// modeled as a dedicated block wired between every function exit and the
+// synthetic exit block — the sound approximation for forward analyses: a
+// deferred persist runs after every send in the body, so it can never make
+// an ACK-before-persist path legal, but it does cover writes at return
+// (persistcover's concern, not persistorder's).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// block is one basic block: a maximal sequence of straight-line AST nodes
+// plus the successor edges control can take afterwards.
+type block struct {
+	index int
+	nodes []ast.Node // statements/expressions in execution order
+	succs []*block
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	blocks []*block
+	entry  *block
+	exit   *block // synthetic: every return/panic/fallthrough-off-the-end reaches it
+}
+
+type cfgBuilder struct {
+	g    *cfg
+	cur  *block // nil while the current point is unreachable (after return/branch)
+	errs int
+
+	// break/continue resolution: innermost-first stacks. label is "" for the
+	// bare statement's target.
+	breaks    []branchTarget
+	continues []branchTarget
+
+	labels map[string]*block // goto targets (and labeled-statement heads)
+	gotos  []pendingGoto
+
+	deferred []ast.Node // defer call expressions, source order
+}
+
+type branchTarget struct {
+	label string
+	dst   *block
+}
+
+type pendingGoto struct {
+	from  *block
+	label string
+	pos   token.Pos
+}
+
+// buildCFG constructs the CFG of body. Function literals nested inside body
+// are NOT traversed: each FuncLit is its own analyzable unit with its own
+// CFG (its body runs at some unrelated time, so facts cannot flow into it
+// linearly).
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{g: &cfg{}, labels: make(map[string]*block)}
+	b.g.exit = b.newBlock() // index 0: exit
+	b.cur = b.newBlock()
+	b.g.entry = b.cur
+	b.stmtList(body.List)
+
+	// Resolve forward gotos.
+	for _, pg := range b.gotos {
+		if dst, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, dst)
+		}
+		// An unresolved label is a parse/type error upstream; nothing to do.
+	}
+
+	// Wire exits: if the body can fall off the end, that is a return.
+	// Deferred calls run between every exit and the synthetic exit block.
+	if b.cur != nil {
+		b.edge(b.cur, b.g.exit)
+	}
+	if len(b.deferred) > 0 {
+		deferBlk := b.newBlock()
+		// Deferred calls execute LIFO.
+		for i := len(b.deferred) - 1; i >= 0; i-- {
+			deferBlk.nodes = append(deferBlk.nodes, b.deferred[i])
+		}
+		b.edge(deferBlk, b.g.exit)
+		// Redirect every edge into exit through the defer block.
+		for _, blk := range b.g.blocks {
+			if blk == deferBlk {
+				continue
+			}
+			for i, s := range blk.succs {
+				if s == b.g.exit {
+					blk.succs[i] = deferBlk
+				}
+			}
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *block) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// add appends a straight-line node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label is the name of an enclosing
+// LabeledStmt directly wrapping this statement ("" if none).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	if b.cur == nil {
+		// Unreachable code still gets blocks (a label can revive it).
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label is a goto target: start a fresh block so jumps land
+		// before the labeled statement.
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.labels[s.Label.Name] = head
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+
+		thenBlk := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else, "")
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after) // condition false
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			b.edge(post, head)
+		}
+		b.pushLoop(label, after, post)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		after := b.newBlock()
+		b.edge(head, after) // range exhausted
+		b.pushLoop(label, after, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		// Every comm clause is a possible successor; select with no default
+		// blocks, but for analysis purposes treating it like a switch over
+		// clauses is the right over-approximation.
+		b.switchBody(label, s.Body, func(cc *ast.CommClause) ast.Stmt { return cc.Comm })
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if dst := b.findTarget(b.breaks, s.Label); dst != nil {
+				b.edge(b.cur, dst)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if dst := b.findTarget(b.continues, s.Label); dst != nil {
+				b.edge(b.cur, dst)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if s.Label != nil {
+				if dst, ok := b.labels[s.Label.Name]; ok {
+					b.edge(b.cur, dst)
+				} else {
+					b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name, pos: s.Pos()})
+				}
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by switchBody via clause ordering; the statement itself
+			// carries no node.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.exit)
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.deferred = append(b.deferred, s.Call)
+
+	case *ast.ExprStmt:
+		b.add(s.X)
+		if isTerminalCall(s.X) {
+			// panic/os.Exit: control never reaches the next statement and
+			// never returns normally, so the fact dies here rather than
+			// flowing to the synthetic exit — a panicking path can't ACK,
+			// so it shouldn't contribute to a callee's exit summary.
+			b.cur = nil
+		}
+
+	case *ast.GoStmt:
+		// The spawned function runs elsewhere; its arguments are evaluated
+		// here. (sharedstate forbids go statements in model code anyway.)
+		b.add(s.Call)
+
+	default:
+		// Assignments, declarations, inc/dec, send, empty: straight-line.
+		b.add(s)
+	}
+}
+
+// switchBody lowers the shared shape of switch / type switch / select. comm
+// extracts the per-clause guard statement for select clauses (nil for
+// switch, whose guards are expressions inside the CaseClause).
+func (b *cfgBuilder) switchBody(label string, body *ast.BlockStmt, comm func(*ast.CommClause) ast.Stmt) {
+	head := b.cur
+	after := b.newBlock()
+	// break inside a switch/select targets `after`; continue passes through
+	// to any enclosing loop.
+	b.breaks = append(b.breaks, branchTarget{label: "", dst: after})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label: label, dst: after})
+	}
+
+	hasDefault := false
+	var clauseBlocks []*block
+	var clauseBodies [][]ast.Stmt
+	for _, cs := range body.List {
+		blk := b.newBlock()
+		b.edge(head, blk)
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cs.Body)
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+			if comm != nil && cs.Comm != nil {
+				blk.nodes = append(blk.nodes, cs.Comm)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cs.Body)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after) // no case matched
+	}
+	for i := range clauseBlocks {
+		b.cur = clauseBlocks[i]
+		stmts := clauseBodies[i]
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(stmts)
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(clauseBlocks) {
+				b.edge(b.cur, clauseBlocks[i+1])
+			} else {
+				b.edge(b.cur, after)
+			}
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if label != "" {
+		b.breaks = b.breaks[:len(b.breaks)-1]
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *block) {
+	b.breaks = append(b.breaks, branchTarget{label: "", dst: brk})
+	b.continues = append(b.continues, branchTarget{label: "", dst: cont})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label: label, dst: brk})
+		b.continues = append(b.continues, branchTarget{label: label, dst: cont})
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	// pushLoop pushed one or two entries onto each stack; pop until the
+	// unlabeled entry (always pushed first) is gone.
+	for len(b.breaks) > 0 {
+		top := b.breaks[len(b.breaks)-1]
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if top.label == "" {
+			break
+		}
+	}
+}
+
+// findTarget resolves a break/continue label against a target stack,
+// innermost first.
+func (b *cfgBuilder) findTarget(stack []branchTarget, label *ast.Ident) *block {
+	name := ""
+	if label != nil {
+		name = label.Name
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == name {
+			return stack[i].dst
+		}
+	}
+	return nil
+}
+
+// isTerminalCall reports whether expr is a call that never returns: panic(x)
+// or os.Exit-shaped selector calls named Exit/Fatal*.
+func isTerminalCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"testing"
+)
+
+// The CFG and dataflow engine are tested behaviorally: a miniature
+// persist-order lattice (calls named write/persist/send, a boolean
+// "write pending" fact) is run over function bodies covering each control
+// shape the builder lowers. A send reached while a write may be pending is a
+// violation; the fact at the synthetic exit block reports whether a write
+// can escape the function unpersisted.
+
+// pendingCheck parses body as the body of a function, builds its CFG, checks
+// structural invariants, and runs the pending-write analysis. Violation
+// lines are 1-based relative to the first line of body.
+func pendingCheck(t *testing.T, body string) (violations []int, exitPending bool) {
+	t.Helper()
+	const header = "package p\n\nfunc f() {\n" // body starts on line 4
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", header+body+"\n}\n", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := buildCFG(file.Decls[0].(*ast.FuncDecl).Body)
+	checkCFG(t, g)
+
+	apply := func(b *block, pending bool, record func(line int)) bool {
+		for _, n := range b.nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok {
+					return false
+				}
+				c, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := c.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch id.Name {
+				case "write":
+					pending = true
+				case "persist":
+					pending = false
+				case "send":
+					if pending && record != nil {
+						record(fset.Position(c.Pos()).Line - 3)
+					}
+				}
+				return true
+			})
+		}
+		return pending
+	}
+
+	in := forward(g, flowFuncs[bool]{
+		entry: false,
+		join:  func(a, b bool) bool { return a || b },
+		equal: func(a, b bool) bool { return a == b },
+		transfer: func(b *block, f bool) bool {
+			return apply(b, f, nil)
+		},
+	})
+	seen := make(map[int]bool)
+	for _, b := range g.blocks {
+		f, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		apply(b, f, func(line int) { seen[line] = true })
+	}
+	for l := range seen {
+		violations = append(violations, l)
+	}
+	sort.Ints(violations)
+	return violations, in[g.exit]
+}
+
+// checkCFG asserts structural invariants every built CFG must satisfy.
+func checkCFG(t *testing.T, g *cfg) {
+	t.Helper()
+	known := make(map[*block]bool, len(g.blocks))
+	for _, b := range g.blocks {
+		known[b] = true
+	}
+	if !known[g.entry] || !known[g.exit] {
+		t.Fatal("entry/exit not registered in blocks")
+	}
+	if len(g.exit.succs) != 0 {
+		t.Fatalf("exit block has %d successors, want 0", len(g.exit.succs))
+	}
+	for _, b := range g.blocks {
+		dup := make(map[*block]bool)
+		for _, s := range b.succs {
+			if !known[s] {
+				t.Fatalf("block %d has successor outside the graph", b.index)
+			}
+			if dup[s] {
+				t.Fatalf("block %d has duplicate successor %d", b.index, s.index)
+			}
+			dup[s] = true
+		}
+	}
+}
+
+func TestCFGDataflow(t *testing.T) {
+	tests := []struct {
+		name            string
+		body            string
+		wantViolations  []int
+		wantExitPending bool
+	}{
+		{
+			name: "straight line covered",
+			body: "write()\npersist()\nsend()",
+		},
+		{
+			name:            "straight line uncovered",
+			body:            "write()\nsend()",
+			wantViolations:  []int{2},
+			wantExitPending: true,
+		},
+		{
+			name: "if-else persists on both branches",
+			body: "write()\nif c {\n\tpersist()\n} else {\n\tpersist()\n}\nsend()",
+		},
+		{
+			name:            "if persists on one branch only",
+			body:            "write()\nif c {\n\tpersist()\n}\nsend()",
+			wantViolations:  []int{5},
+			wantExitPending: true,
+		},
+		{
+			name:            "else branch loses the persist",
+			body:            "write()\nif c {\n\tpersist()\n} else {\n\t_ = c\n}\nsend()",
+			wantViolations:  []int{7},
+			wantExitPending: true,
+		},
+		{
+			name:            "send inside loop after write",
+			body:            "write()\nfor i := 0; i < n; i++ {\n\tsend()\n}",
+			wantViolations:  []int{3},
+			wantExitPending: true,
+		},
+		{
+			name:            "persist inside loop may not execute",
+			body:            "write()\nfor i := 0; i < n; i++ {\n\tpersist()\n}\nsend()",
+			wantViolations:  []int{5},
+			wantExitPending: true,
+		},
+		{
+			name: "back edge: write on iteration k reaches send on k+1",
+			body: "for i := 0; i < n; i++ {\n\tsend()\n\twrite()\n}\npersist()",
+			// The send is clean on iteration 1 but pending flows around the
+			// back edge; this is the case a single linear scan misses.
+			wantViolations: []int{2},
+		},
+		{
+			name: "loop then unconditional persist",
+			body: "for i := 0; i < n; i++ {\n\twrite()\n}\npersist()\nsend()",
+		},
+		{
+			name:            "range loop may iterate zero times",
+			body:            "write()\nfor _, v := range xs {\n\t_ = v\n\tpersist()\n}\nsend()",
+			wantViolations:  []int{6},
+			wantExitPending: true,
+		},
+		{
+			name:            "switch: one case misses the persist",
+			body:            "write()\nswitch x {\ncase 1:\n\tpersist()\ncase 2:\n}\nsend()",
+			wantViolations:  []int{7},
+			wantExitPending: true,
+		},
+		{
+			name: "switch with default covering all cases",
+			body: "write()\nswitch x {\ncase 1:\n\tpersist()\ndefault:\n\tpersist()\n}\nsend()",
+		},
+		{
+			name:            "switch without default: no-match path skips persist",
+			body:            "write()\nswitch x {\ncase 1:\n\tpersist()\n}\nsend()",
+			wantViolations:  []int{6},
+			wantExitPending: true,
+		},
+		{
+			name:            "fallthrough carries pending into next case",
+			body:            "switch x {\ncase 1:\n\twrite()\n\tfallthrough\ncase 2:\n\tsend()\n}",
+			wantViolations:  []int{6},
+			wantExitPending: true,
+		},
+		{
+			name:            "select: default path skips persist",
+			body:            "write()\nselect {\ncase <-ch:\n\tpersist()\ndefault:\n}\nsend()",
+			wantViolations:  []int{7},
+			wantExitPending: true,
+		},
+		{
+			name:            "early return skips the persist on the other path",
+			body:            "write()\nif c {\n\tpersist()\n\treturn\n}\nsend()",
+			wantViolations:  []int{6},
+			wantExitPending: true,
+		},
+		{
+			name: "persist before conditional return",
+			body: "write()\npersist()\nif c {\n\treturn\n}\nsend()",
+		},
+		{
+			name: "panic terminates the uncovered path",
+			body: "write()\nif !c {\n\tpanic(\"bad\")\n}\npersist()\nsend()",
+		},
+		{
+			name: "send after panic is unreachable",
+			body: "write()\npanic(\"bad\")\nsend()",
+		},
+		{
+			name: "goto jumps over the bare send",
+			body: "write()\ngoto done\nsend()\ndone:\npersist()\nsend()",
+		},
+		{
+			name:            "labeled break skips the persist",
+			body:            "outer:\nfor {\n\twrite()\n\tfor {\n\t\tbreak outer\n\t}\n\tpersist()\n}\nsend()",
+			wantViolations:  []int{9},
+			wantExitPending: true,
+		},
+		{
+			name:            "continue skips the persist",
+			body:            "for i := 0; i < n; i++ {\n\twrite()\n\tif c {\n\t\tcontinue\n\t}\n\tpersist()\n}\nsend()",
+			wantViolations:  []int{8},
+			wantExitPending: true,
+		},
+		{
+			name: "deferred persist runs after the send",
+			body: "write()\ndefer persist()\nsend()",
+			// The send still races the persist — but at function exit the
+			// deferred call has covered the write.
+			wantViolations: []int{3},
+		},
+		{
+			name: "deferred send runs after the persist",
+			body: "write()\ndefer send()\npersist()",
+		},
+		{
+			name:            "deferred send with no persist",
+			body:            "write()\ndefer send()",
+			wantViolations:  []int{2},
+			wantExitPending: true,
+		},
+		{
+			name: "defers run LIFO: later persist covers earlier send",
+			body: "write()\ndefer send()\ndefer persist()",
+		},
+		{
+			name: "function literal is a separate unit",
+			body: "write()\nf := func() {\n\tsend()\n}\npersist()\n_ = f",
+		},
+		{
+			name:            "type switch: one case misses the persist",
+			body:            "write()\nswitch v := y.(type) {\ncase int:\n\t_ = v\n\tpersist()\ncase string:\n\t_ = v\n}\nsend()",
+			wantViolations:  []int{9},
+			wantExitPending: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, exitPending := pendingCheck(t, tt.body)
+			if !equalInts(got, tt.wantViolations) {
+				t.Errorf("violations = %v, want %v", got, tt.wantViolations)
+			}
+			if exitPending != tt.wantExitPending {
+				t.Errorf("exitPending = %v, want %v", exitPending, tt.wantExitPending)
+			}
+		})
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

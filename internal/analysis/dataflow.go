@@ -1,0 +1,58 @@
+package analysis
+
+// A small forward-dataflow engine over the CFG in cfg.go: classic worklist
+// iteration to a fixed point. Analyses implement flowFuncs[F]; facts F must
+// be treated as immutable values (transfer and join return fresh facts).
+
+// flowFuncs defines one forward analysis over facts of type F.
+type flowFuncs[F any] struct {
+	// entry is the fact at the function entry block.
+	entry F
+	// join merges two facts at a control-flow merge point.
+	join func(a, b F) F
+	// equal reports whether two facts carry the same information; the
+	// fixpoint iteration stops when every block's input is stable.
+	equal func(a, b F) bool
+	// transfer pushes a fact through one block's straight-line nodes.
+	transfer func(b *block, in F) F
+}
+
+// forward computes, for every block, the fact holding at its entry. Facts
+// for blocks never reached from the entry stay absent from the map —
+// unreachable code constrains nothing.
+func forward[F any](g *cfg, fn flowFuncs[F]) map[*block]F {
+	in := make(map[*block]F, len(g.blocks))
+	in[g.entry] = fn.entry
+
+	// Deterministic worklist: process in block-index order, re-queue on
+	// change. A simple boolean membership set keeps each block queued at
+	// most once.
+	work := []*block{g.entry}
+	queued := make(map[*block]bool, len(g.blocks))
+	queued[g.entry] = true
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := fn.transfer(b, in[b])
+		for _, s := range b.succs {
+			cur, ok := in[s]
+			var next F
+			if !ok {
+				next = out
+			} else {
+				next = fn.join(cur, out)
+			}
+			if !ok || !fn.equal(cur, next) {
+				in[s] = next
+				if !queued[s] {
+					work = append(work, s)
+					queued[s] = true
+				}
+			}
+		}
+	}
+	return in
+}

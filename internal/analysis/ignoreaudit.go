@@ -1,0 +1,29 @@
+package analysis
+
+// IgnoreauditAnalyzer keeps the suppression system honest: every
+// //pmnetlint:ignore directive must still suppress a real diagnostic from
+// the analyzer it names. Code moves; the directive that once justified a
+// wall-clock read or a map range outlives the line it excused, and a stale
+// ignore is worse than none — it documents an invariant violation that no
+// longer exists and silently licenses the next one.
+//
+// Two findings:
+//
+//   - stale ignore: the named analyzer ran over this package and the
+//     directive suppressed nothing — delete it (or, if the code regressed
+//     around it, fix the code).
+//   - out-of-scope ignore: the named analyzer does not audit this package
+//     at all, so the directive can never suppress anything.
+//
+// The enforcement lives in RunPackage, which is the only place that knows
+// which directives were consulted: this analyzer's Run is a no-op marker
+// whose presence in the run set switches the audit on. ignoreaudit findings
+// themselves cannot be suppressed — an ignore of the ignore-auditor would
+// defeat the point (a directive naming ignoreaudit is always reported as
+// stale).
+var IgnoreauditAnalyzer = &Analyzer{
+	Name:  "ignoreaudit",
+	Doc:   "every //pmnetlint:ignore directive must still suppress a real diagnostic",
+	Scope: func(modulePath, pkgPath string) bool { return true },
+	Run:   func(*Pass) {}, // enforcement happens in RunPackage
+}

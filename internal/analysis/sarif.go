@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 serialization of findings, for CI code-scanning upload. Only
+// the subset of the schema the consumers actually read is emitted: tool
+// driver + rules (one per analyzer), and one result per finding with a
+// physical location. Output is deterministic: findings arrive sorted from
+// RunPackage and the rule table follows registry order.
+
+const sarifSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifRules is the rule table: every registered analyzer plus the
+// "pmnetlint" pseudo-rule that directive-validation findings carry.
+func sarifRules() ([]sarifRule, map[string]int) {
+	rules := make([]sarifRule, 0, len(Analyzers)+1)
+	index := make(map[string]int, len(Analyzers)+1)
+	add := func(id, doc string) {
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifText{Text: doc}})
+	}
+	add("pmnetlint", "suppression directives must be well-formed and name a known analyzer")
+	for _, a := range Analyzers {
+		add(a.Name, a.Doc)
+	}
+	return rules, index
+}
+
+// WriteSARIF emits findings as a SARIF 2.1.0 log. Finding filenames are
+// used verbatim as artifact URIs — callers should pass module-root-relative,
+// slash-separated paths so the log is stable across checkouts.
+func WriteSARIF(w io.Writer, findings []Finding) error {
+	rules, index := sarifRules()
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := index[f.Analyzer]
+		if !ok {
+			idx = 0 // unknown attribution falls back to the driver rule
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifText{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.Pos.Filename},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "pmnetlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}

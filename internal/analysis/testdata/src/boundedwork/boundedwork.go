@@ -1,0 +1,176 @@
+// Package fixture exercises the boundedwork analyzer: per-packet dataplane
+// loops must have a trip count statically tied to a constant, a parameter
+// length, or a table size — the line-rate discipline a hardware pipeline
+// imposes (Packet Transactions; ROADMAP item 3).
+package fixture
+
+type table struct {
+	entries int
+	slots   []uint64
+}
+
+func (t *table) Size() int { return t.entries }
+
+type node struct {
+	next *node
+	key  uint64
+}
+
+// --- bounded loops -------------------------------------------------------
+
+func okConstantBound(pkt []byte) int {
+	sum := 0
+	for i := 0; i < 16; i++ {
+		sum += int(pkt[i%len(pkt)])
+	}
+	return sum
+}
+
+func okParamBound(pkt []byte, n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+func okLenBound(pkt []byte) int {
+	sum := 0
+	for i := 0; i < len(pkt); i++ {
+		sum += int(pkt[i])
+	}
+	return sum
+}
+
+func okTableFieldBound(t *table) int {
+	sum := 0
+	for i := 0; i < t.entries; i++ {
+		sum += i
+	}
+	return sum
+}
+
+func okTableMethodBound(t *table) int {
+	sum := 0
+	for i := 0; i < t.Size(); i++ {
+		sum += i
+	}
+	return sum
+}
+
+func okDerivedLocalBound(pkt []byte) int {
+	half := len(pkt) / 2
+	sum := 0
+	for i := 0; i < half; i++ {
+		sum += int(pkt[i])
+	}
+	return sum
+}
+
+func okRangeSlice(t *table) uint64 {
+	var acc uint64
+	for _, s := range t.slots {
+		acc ^= s
+	}
+	return acc
+}
+
+func okRangeMap(m map[uint64]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func okCompoundCond(pkt []byte, stop bool) int {
+	i := 0
+	for i < len(pkt) && !stop {
+		i++
+	}
+	return i
+}
+
+// --- unbounded loops -----------------------------------------------------
+
+// badUnconditional is the canonical per-packet spin: no pipeline stage
+// budget can express it.
+func badUnconditional(pkt []byte) {
+	for { // want "unconditional loop"
+		if len(pkt) == 0 {
+			return
+		}
+	}
+}
+
+// badPointerChase walks a linked structure until nil — the trip count is a
+// property of runtime state, not of any table geometry.
+func badPointerChase(head *node, key uint64) *node {
+	for n := head; n != nil; n = n.next { // want "not a constant, parameter length, or table size"
+		if n.key == key {
+			return n
+		}
+	}
+	return nil
+}
+
+// badLocalFromCall: the bound came from an arbitrary call, not from a
+// length, constant, or parameter.
+func lookupDepth() int { return 1 << 20 }
+
+func badLocalFromCall(pkt []byte) int {
+	depth := lookupDepth()
+	sum := 0
+	for i := 0; i < depth; i++ { // want "not a constant, parameter length, or table size"
+		sum += i
+	}
+	return sum
+}
+
+// badBoolSpin: a bare flag condition gives no trip count at all.
+func badBoolSpin(busy bool) {
+	for busy { // want "not a constant, parameter length, or table size"
+		busy = false
+	}
+}
+
+// badRangeChannel: draining a channel is unbounded per-packet work.
+func badRangeChannel(ch chan uint64) uint64 {
+	var acc uint64
+	for v := range ch { // want "range over a channel"
+		acc ^= v
+	}
+	return acc
+}
+
+// badDisjunctHalfBounded: an || loop keeps running while EITHER side holds,
+// so one unbounded disjunct poisons the whole condition.
+func badDisjunctHalfBounded(pkt []byte, busy bool) int {
+	i := 0
+	for i < len(pkt) || busy { // want "not a constant, parameter length, or table size"
+		i++
+	}
+	return i
+}
+
+// okJustified: a reasoned directive records why the walk is actually
+// bounded (capacity-limited structure), mirroring the dataplane LRU sweep.
+func okJustified(head *node) int {
+	n := 0
+	//pmnetlint:ignore boundedwork fixture: walk is capped by the structure's fixed capacity
+	for el := head; el != nil; el = el.next {
+		n++
+	}
+	return n
+}
+
+// Loops inside function literals are held to the same budget.
+func badInsideClosure(pkt []byte) func() {
+	return func() {
+		for { // want "unconditional loop"
+			if len(pkt) == 0 {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package fixture exercises the ignoreaudit analyzer. The fixture is run
+// with maprange + ignoreaudit: a directive that suppresses a live maprange
+// finding survives; one whose finding has rotted away, or that names an
+// analyzer outside the run set, is itself reported.
+package fixture
+
+var table = map[string]int{"a": 1, "b": 2}
+
+// okUsed: the directive suppresses a real maprange finding, so ignoreaudit
+// stays quiet about it.
+func okUsed() int {
+	max := 0
+	//pmnetlint:ignore maprange fixture: pure max reduction, any order yields the same result
+	for _, v := range table {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// staleDirective: the map range this once excused was rewritten into a
+// plain counted loop, and the directive was left behind to rot.
+func staleDirective() int {
+	n := 0
+	//pmnetlint:ignore maprange fixture: leftover from a rewritten loop // want "stale ignore"
+	for i := 0; i < 3; i++ {
+		n += i
+	}
+	return n
+}
+
+// outOfScope: wallclock is not part of this run set, so the directive can
+// never suppress anything here.
+func outOfScope() int {
+	//pmnetlint:ignore wallclock fixture: copy-pasted from another package // want "out-of-scope ignore"
+	return 42
+}
+
+// trailingUsed: a same-line directive also counts as used.
+func trailingUsed() int {
+	n := 0
+	for k, v := range table { //pmnetlint:ignore maprange fixture: commutative sum over keys and values
+		n += len(k) + v
+	}
+	return n
+}
+
+// selfIgnore: suppressing the auditor is always reported — the directive
+// can never be "used" because audit findings bypass suppression.
+func selfIgnore() int {
+	//pmnetlint:ignore ignoreaudit fixture: trying to silence the auditor // want "stale ignore"
+	return 7
+}

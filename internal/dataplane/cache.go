@@ -99,6 +99,7 @@ func (c *Cache) touch(e *cacheEntry) { c.lru.MoveToFront(e.elem) }
 // evictOne removes the least recently used entry whose state permits
 // eviction. Returns false if every entry is protocol-pinned.
 func (c *Cache) evictOne() bool {
+	//pmnetlint:ignore boundedwork walk is capped by the cache capacity (lru.Len <= c.capacity, a fixed table size)
 	for el := c.lru.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*cacheEntry)
 		if e.state == CachePending || e.state == CacheStale {

@@ -502,8 +502,13 @@ func (s *Server) DebugSessions() map[uint16]struct {
 		NextSeq  uint32
 		Buffered []uint32
 	})
-	//pmnetlint:ignore maprange populates one independent map entry per session; order cannot leak
-	for id, st := range s.sess {
+	ids := make([]uint16, 0, len(s.sess))
+	for id := range s.sess {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		st := s.sess[id]
 		var buf []uint32
 		for seq := range st.buffered {
 			buf = append(buf, seq)
