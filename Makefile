@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test race vet lint lint-sarif ci bench bench-json microbench trace-smoke \
-	shard-smoke bench-baseline bench-regression benchdiff
+	shard-smoke openloop-smoke bench-baseline bench-regression benchdiff
 
 all: build test
 
@@ -28,7 +28,7 @@ lint-sarif:
 	$(GO) run ./cmd/pmnetlint -format sarif ./... > lint.sarif
 
 # Everything CI runs, in the same order.
-ci: build test race vet lint trace-smoke shard-smoke
+ci: build test race vet lint trace-smoke shard-smoke openloop-smoke
 
 # Trace determinism smoke: the pinned scenario's chrome://tracing bytes must
 # match the golden (same bytes TestTraceGoldenSmoke pins), and 8 concurrent
@@ -72,6 +72,15 @@ shard-smoke:
 		-shards 4 -trace /tmp/pmnet_sim_shards4.json >/dev/null
 	diff -q /tmp/pmnet_sim_shards1.json /tmp/pmnet_sim_shards4.json
 	@echo "shard-smoke: shards 1 vs 4 byte-identical (tables + trace)"
+
+# Open-loop scale smoke: live state must be O(active sessions), never
+# O(users). TestOpenLoopMemoryFlat runs the same offered load against 10k and
+# 100k logical users and asserts (a) the active-session table stays bounded
+# by the admission cap and (b) retained heap does not grow with the user
+# count — the invariant that makes "retwis at 1M users" a config number.
+openloop-smoke:
+	$(GO) test -run TestOpenLoopMemoryFlat -v ./internal/harness
+	@echo "openloop-smoke: 10x users, flat retained heap"
 
 # Regenerate the committed wall-clock baseline (run on a quiet machine, then
 # commit the file so `make bench-regression` and CI have a reference point).

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmnet/internal/benchfmt"
+)
+
+func writeDoc(t *testing.T, dir, name string, doc benchfmt.Doc) string {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func exp(id string, cells ...benchfmt.Cell) benchfmt.Experiment {
+	return benchfmt.Experiment{ID: id, Cells: cells}
+}
+
+func cell(key string, events uint64, wallMs float64) benchfmt.Cell {
+	return benchfmt.Cell{Key: key, Events: events, WallMs: wallMs}
+}
+
+// TestUnmatchedExperimentWarnsNotFails is the regression test for the CI
+// failure mode where a freshly added experiment (present in the new JSON,
+// absent from the recorded baseline) broke the diff: benchdiff must warn,
+// exclude the unmatched cells, and still gate on the matched ones.
+func TestUnmatchedExperimentWarnsNotFails(t *testing.T) {
+	dir := t.TempDir()
+	oldDoc := benchfmt.Doc{
+		Schema: benchfmt.Schema, Seed: 1,
+		Perf:        benchfmt.Perf{Events: 1000, EventsPerSec: 1e6},
+		Experiments: []benchfmt.Experiment{exp("fig2", cell("a", 500, 1), cell("b", 500, 1))},
+	}
+	newDoc := benchfmt.Doc{
+		Schema: benchfmt.Schema, Seed: 1,
+		Perf: benchfmt.Perf{Events: 3000, EventsPerSec: 0.4e6},
+		Experiments: []benchfmt.Experiment{
+			exp("fig2", cell("a", 500, 1), cell("b", 500, 1)),
+			// The new experiment is slow enough that folding it into a naive
+			// batch-level gate would report a >15% regression.
+			exp("openloop", cell("base/50k", 2000, 100)),
+		},
+	}
+	oldPath := writeDoc(t, dir, "old.json", oldDoc)
+	newPath := writeDoc(t, dir, "new.json", newDoc)
+
+	var out, errOut strings.Builder
+	code := run([]string{oldPath, newPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d for baseline missing an experiment, want 0\noutput:\n%s%s",
+			code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "warn: cell openloop/base/50k has no baseline counterpart") {
+		t.Errorf("missing unmatched-cell warning:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "gating on matched cells only") {
+		t.Errorf("gate was not restricted to matched cells:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "OK: matched-cell events_per_sec") {
+		t.Errorf("matched-cell gate did not pass:\n%s", out.String())
+	}
+}
+
+// TestUnmatchedBaselineCellWarns: the mirror case — a cell that existed in
+// the baseline but vanished from the new document is warned about, not
+// silently dropped.
+func TestUnmatchedBaselineCellWarns(t *testing.T) {
+	dir := t.TempDir()
+	oldDoc := benchfmt.Doc{
+		Schema: benchfmt.Schema, Seed: 1,
+		Perf:        benchfmt.Perf{Events: 1000, EventsPerSec: 1e6},
+		Experiments: []benchfmt.Experiment{exp("fig2", cell("a", 500, 1), cell("gone", 500, 1))},
+	}
+	newDoc := benchfmt.Doc{
+		Schema: benchfmt.Schema, Seed: 1,
+		Perf:        benchfmt.Perf{Events: 500, EventsPerSec: 1e6},
+		Experiments: []benchfmt.Experiment{exp("fig2", cell("a", 500, 1))},
+	}
+	oldPath := writeDoc(t, dir, "old.json", oldDoc)
+	newPath := writeDoc(t, dir, "new.json", newDoc)
+
+	var out, errOut strings.Builder
+	code := run([]string{oldPath, newPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "warn: baseline cell fig2/gone absent from new document") {
+		t.Errorf("missing vanished-cell warning:\n%s", out.String())
+	}
+}
+
+// TestMatchedRegressionStillFails: tolerance for unmatched cells must not
+// disable the gate itself — a real regression in the matched cells exits 1.
+func TestMatchedRegressionStillFails(t *testing.T) {
+	dir := t.TempDir()
+	oldDoc := benchfmt.Doc{
+		Schema: benchfmt.Schema, Seed: 1,
+		Perf:        benchfmt.Perf{Events: 1000, EventsPerSec: 1e6},
+		Experiments: []benchfmt.Experiment{exp("fig2", cell("a", 1000, 1))},
+	}
+	newDoc := benchfmt.Doc{
+		Schema: benchfmt.Schema, Seed: 1,
+		Perf: benchfmt.Perf{Events: 2000, EventsPerSec: 1e6},
+		Experiments: []benchfmt.Experiment{
+			exp("fig2", cell("a", 1000, 2)), // 2x slower on the matched cell
+			exp("openloop", cell("base/50k", 1000, 1)),
+		},
+	}
+	oldPath := writeDoc(t, dir, "old.json", oldDoc)
+	newPath := writeDoc(t, dir, "new.json", newDoc)
+
+	var out, errOut strings.Builder
+	code := run([]string{"-threshold", "15", oldPath, newPath}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d for a 2x matched-cell regression, want 1\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL: matched-cell events_per_sec regressed") {
+		t.Errorf("missing FAIL line:\n%s", out.String())
+	}
+}
+
+// TestIdenticalDocsPass: the no-op diff stays green and uses the batch gate.
+func TestIdenticalDocsPass(t *testing.T) {
+	dir := t.TempDir()
+	doc := benchfmt.Doc{
+		Schema: benchfmt.Schema, Seed: 1,
+		Perf:        benchfmt.Perf{Events: 1000, EventsPerSec: 1e6},
+		Experiments: []benchfmt.Experiment{exp("fig2", cell("a", 500, 1))},
+	}
+	oldPath := writeDoc(t, dir, "old.json", doc)
+	newPath := writeDoc(t, dir, "new.json", doc)
+
+	var out, errOut strings.Builder
+	code := run([]string{oldPath, newPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d for identical documents, want 0\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "OK: events_per_sec within") {
+		t.Errorf("batch gate not used for fully matched documents:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "warn:") {
+		t.Errorf("spurious warning for identical documents:\n%s", out.String())
+	}
+}

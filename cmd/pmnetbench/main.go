@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pmnetbench [-run all|fig2|fig15|fig16|fig18|fig19|fig20|fig21|fig22|recovery|tpcclock|scale] [-seed N] [-parallel N] [-shards N] [-format table|csv|json]
+//	pmnetbench [-run all|fig2|fig15|fig16|fig18|fig19|fig20|fig21|fig22|recovery|tpcclock|scale|openloop] [-seed N] [-parallel N] [-shards N] [-format table|csv|json]
 //
 // Each experiment prints the rows the corresponding figure plots, plus notes
 // comparing the measured shape against the paper's reported numbers.

@@ -7,8 +7,17 @@
 //	pmnetsim [-design client-server|pmnet-switch|pmnet-nic] [-workload btree|...|ideal]
 //	         [-clients N] [-requests N] [-update-ratio F] [-replication K]
 //	         [-cache N] [-bypass-stack] [-crash] [-seed N]
+//	         [-offered-load RPS] [-duration MS] [-users N]
+//	         [-arrival poisson|mmpp|diurnal|flash] [-backoff]
 //	         [-trace out.json] [-parallel N] [-shards N]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -offered-load > 0 the run is open-loop: arrivals follow the selected
+// -arrival process at the offered rate for -duration virtual milliseconds,
+// multiplexed over -users logical user sessions (live state stays bounded by
+// the admission cap regardless of -users; excess arrivals are shed, never
+// queued). -requests is ignored in this mode. -backoff enables capped
+// exponential client retransmission backoff.
 //
 // With -trace, the run records every request-lifecycle event and gauge sample
 // on the virtual clock and writes a chrome://tracing (Perfetto-loadable) JSON
@@ -29,8 +38,10 @@ import (
 	"sync"
 
 	"pmnet"
+	"pmnet/internal/arrival"
 	"pmnet/internal/harness"
 	"pmnet/internal/prof"
+	"pmnet/internal/sim"
 	"pmnet/internal/trace"
 )
 
@@ -45,6 +56,11 @@ func main() {
 	bypass := flag.Bool("bypass-stack", false, "use libVMA-style kernel-bypass host stacks")
 	zipf := flag.Bool("zipf", false, "zipfian key popularity")
 	cross := flag.Float64("cross-traffic", 0, "background traffic toward the server (Gbps)")
+	offered := flag.Float64("offered-load", 0, "open-loop offered load in user actions/s (0 = closed-loop -requests mode)")
+	duration := flag.Float64("duration", 0, "open-loop run length in virtual milliseconds (0 = harness default)")
+	users := flag.Int("users", 0, "open-loop logical user population (0 = harness default)")
+	arrivalKind := flag.String("arrival", "poisson", "open-loop arrival process: poisson | mmpp | diurnal | flash")
+	backoff := flag.Bool("backoff", false, "capped exponential client retransmission backoff")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	traceFile := flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
 	par := flag.Int("parallel", 1, "run N identical copies concurrently and byte-compare their traces")
@@ -84,6 +100,18 @@ func main() {
 		CrossTrafficGbps: *cross,
 		Seed:             *seed,
 		Shards:           *shards,
+		RetryBackoff:     *backoff,
+	}
+	if *offered > 0 {
+		kind, err := arrival.ParseKind(*arrivalKind)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmnetsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.OfferedLoad = *offered
+		cfg.Duration = sim.Time(*duration * float64(sim.Millisecond))
+		cfg.Users = *users
+		cfg.Arrival.Kind = kind
 	}
 	if *par < 1 {
 		*par = 1
@@ -167,7 +195,18 @@ func main() {
 	fmt.Printf("requests      %d completed (%d updates, %d bypass, %d lock ops, %d lock retries)\n",
 		res.Driver.Completed, res.Driver.Updates, res.Driver.Bypasses,
 		res.Driver.LockOps, res.Driver.LockRetries)
-	fmt.Printf("throughput    %.0f req/s\n", res.Run.Throughput())
+	if open := res.Open; open != nil {
+		fmt.Printf("open-loop     %s arrivals, %.0f actions/s offered, %d users\n",
+			*arrivalKind, *offered, cfg.Users)
+		fmt.Printf("admission     offered=%d admitted=%d shed=%d peak-active=%d peak-sessions=%d\n",
+			open.Offered, open.Admitted, open.Shed, open.PeakActive, open.PeakSessions)
+		fmt.Printf("goodput       %.0f req/s (measured window: %d arrivals, %d completions)\n",
+			res.Run.Throughput(), open.MeasuredOff, open.MeasuredDone)
+		fmt.Printf("tail spot     p99=%.2f us exact (reservoir of %d/%d samples)\n",
+			open.Reservoir.Percentile(99).Micros(), open.Reservoir.Len(), open.Reservoir.Seen())
+	} else {
+		fmt.Printf("throughput    %.0f req/s\n", res.Run.Throughput())
+	}
 	fmt.Printf("latency mean  %.2f us\n", h.Mean().Micros())
 	for _, p := range []float64{50, 90, 99, 99.9} {
 		fmt.Printf("latency p%-4v %.2f us\n", p, h.Percentile(p).Micros())

@@ -1,0 +1,275 @@
+// Package arrival implements deterministic open-loop arrival processes for
+// the experiment harness. A closed-loop driver (fixed clients, zero think
+// time) self-throttles at saturation: each client waits for its previous
+// request, so offered load collapses to match service capacity and the
+// load-latency knee is invisible. An open-loop process generates arrivals on
+// the virtual clock at a configured rate regardless of completions — the
+// production traffic shape — which is what exposes where latency departs
+// from the service time and where goodput stops tracking offered load.
+//
+// Every process is a pure function of (Config, *sim.Rand): it draws all
+// randomness from the seeded stream it was constructed with and never reads
+// the wall clock, so arrival sequences are byte-reproducible and independent
+// of host scheduling, -parallel pool size, and -shards count. Rates are
+// arrivals per second of virtual time.
+package arrival
+
+import (
+	"fmt"
+	"math"
+
+	"pmnet/internal/sim"
+)
+
+// Kind selects the arrival process shape.
+type Kind uint8
+
+const (
+	// Poisson is a homogeneous Poisson process: i.i.d. exponential
+	// inter-arrival gaps with mean 1/Rate.
+	Poisson Kind = iota
+	// MMPP is a 2-state Markov-modulated Poisson process: a "calm" and a
+	// "burst" state, each Poisson at its own rate, with exponentially
+	// distributed dwell times. The long-run mean rate is Rate; bursts run at
+	// Burst×Rate for a BurstFraction of the time.
+	MMPP
+	// Diurnal is a non-homogeneous Poisson process whose instantaneous rate
+	// follows a sinusoidal load curve: λ(t) = Rate·(1 + Swing·sin(2πt/Period)).
+	// The mean over a whole period is Rate.
+	Diurnal
+	// Flash is a flash-crowd ramp: Poisson at Rate, except during
+	// [FlashAt, FlashAt+FlashLen) where the rate steps to FlashPeak×Rate.
+	Flash
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case MMPP:
+		return "mmpp"
+	case Diurnal:
+		return "diurnal"
+	case Flash:
+		return "flash"
+	}
+	return fmt.Sprintf("arrival.Kind(%d)", uint8(k))
+}
+
+// ParseKind maps a flag string to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "poisson", "":
+		return Poisson, nil
+	case "mmpp":
+		return MMPP, nil
+	case "diurnal":
+		return Diurnal, nil
+	case "flash":
+		return Flash, nil
+	}
+	return 0, fmt.Errorf("arrival: unknown process %q (want poisson|mmpp|diurnal|flash)", s)
+}
+
+// Config parameterizes a process. Rate is required; the per-kind fields are
+// completed with the defaults documented on each.
+type Config struct {
+	Kind Kind
+	Rate float64 // mean arrivals per second of virtual time (> 0)
+
+	// MMPP parameters.
+	Burst         float64  // burst-state rate multiplier (default 8)
+	BurstFraction float64  // long-run fraction of time spent bursting (default 0.1)
+	BurstDwell    sim.Time // mean dwell per burst episode (default 1 ms)
+
+	// Diurnal parameters.
+	Period sim.Time // load-curve period, one simulated "day" (default 100 ms)
+	Swing  float64  // relative amplitude in [0, 1) (default 0.8)
+
+	// Flash-crowd parameters.
+	FlashAt   sim.Time // ramp onset (default Period/4, i.e. 25 ms)
+	FlashLen  sim.Time // ramp duration (default 10 ms)
+	FlashPeak float64  // rate multiplier during the flash (default 10)
+}
+
+func (c *Config) defaults() {
+	if c.Burst <= 1 {
+		c.Burst = 8
+	}
+	if c.BurstFraction <= 0 || c.BurstFraction >= 1 {
+		c.BurstFraction = 0.1
+	}
+	// The calm-state rate (1 - f·m)/(1 - f)·Rate must stay positive; clamp
+	// the burst multiplier so f·m < 1 holds for any configured fraction.
+	if c.Burst*c.BurstFraction >= 1 {
+		c.Burst = 0.95 / c.BurstFraction
+	}
+	if c.BurstDwell <= 0 {
+		c.BurstDwell = sim.Millisecond
+	}
+	if c.Period <= 0 {
+		c.Period = 100 * sim.Millisecond
+	}
+	if c.Swing <= 0 || c.Swing >= 1 {
+		c.Swing = 0.8
+	}
+	if c.FlashAt <= 0 {
+		c.FlashAt = 25 * sim.Millisecond
+	}
+	if c.FlashLen <= 0 {
+		c.FlashLen = 10 * sim.Millisecond
+	}
+	if c.FlashPeak <= 1 {
+		c.FlashPeak = 10
+	}
+}
+
+// Process generates one monotone stream of arrival times. Not safe for
+// concurrent use; one process belongs to one driver on one engine.
+type Process struct {
+	cfg  Config
+	rand *sim.Rand
+	now  sim.Time // time of the last arrival returned
+
+	// MMPP state.
+	burst      bool
+	stateEnd   sim.Time
+	stateStart sim.Time
+	burstTime  sim.Time // completed burst dwell, for DwellFractions
+	calmTime   sim.Time // completed calm dwell
+
+	// Thinning bound for the non-homogeneous kinds.
+	maxRate float64
+}
+
+// New builds a process drawing randomness from r. It panics on a
+// non-positive rate — a config bug, not a recoverable condition.
+func New(cfg Config, r *sim.Rand) *Process {
+	if cfg.Rate <= 0 {
+		panic("arrival: non-positive rate")
+	}
+	cfg.defaults()
+	p := &Process{cfg: cfg, rand: r}
+	switch cfg.Kind {
+	case MMPP:
+		// Start calm and draw the first dwell; the calm dwell mean is set so
+		// the long-run burst fraction comes out at BurstFraction.
+		p.stateEnd = sim.Time(r.Exp(float64(p.calmDwell())))
+	case Diurnal:
+		p.maxRate = cfg.Rate * (1 + cfg.Swing)
+	case Flash:
+		p.maxRate = cfg.Rate * cfg.FlashPeak
+	}
+	return p
+}
+
+// calmDwell returns the mean calm-state dwell that balances BurstDwell into
+// the configured long-run burst fraction.
+func (p *Process) calmDwell() sim.Time {
+	f := p.cfg.BurstFraction
+	return sim.Time(float64(p.cfg.BurstDwell) * (1 - f) / f)
+}
+
+// gap converts a mean rate (arrivals/s) into one exponential inter-arrival
+// gap in virtual nanoseconds, floored at 1 ns so the stream always advances.
+func (p *Process) gap(rate float64) sim.Time {
+	g := sim.Time(p.rand.Exp(1e9 / rate))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Next returns the absolute virtual time of the next arrival. Times are
+// strictly increasing.
+func (p *Process) Next() sim.Time {
+	switch p.cfg.Kind {
+	case MMPP:
+		p.next(p.stepMMPP)
+	case Diurnal:
+		p.next(p.stepThinned(p.diurnalRate))
+	case Flash:
+		p.next(p.stepThinned(p.flashRate))
+	default:
+		p.now += p.gap(p.cfg.Rate)
+	}
+	return p.now
+}
+
+// next advances p.now until step reports an accepted arrival.
+func (p *Process) next(step func() bool) {
+	for !step() {
+	}
+}
+
+// stepMMPP advances by one candidate gap in the current modulation state,
+// toggling states at dwell boundaries. The exponential's memorylessness makes
+// restarting the draw at a boundary statistically exact.
+func (p *Process) stepMMPP() bool {
+	rate := p.calmRate()
+	if p.burst {
+		rate = p.cfg.Rate * p.cfg.Burst
+	}
+	g := p.gap(rate)
+	if p.now+g >= p.stateEnd {
+		// Dwell expires first: jump to the boundary, toggle, redraw.
+		p.now = p.stateEnd
+		if p.burst {
+			p.burstTime += p.stateEnd - p.stateStart
+		} else {
+			p.calmTime += p.stateEnd - p.stateStart
+		}
+		p.stateStart = p.stateEnd
+		p.burst = !p.burst
+		mean := p.calmDwell()
+		if p.burst {
+			mean = p.cfg.BurstDwell
+		}
+		dwell := sim.Time(p.rand.Exp(float64(mean)))
+		if dwell < 1 {
+			dwell = 1
+		}
+		p.stateEnd = p.now + dwell
+		return false
+	}
+	p.now += g
+	return true
+}
+
+// calmRate is the calm-state rate keeping the long-run mean at Rate.
+func (p *Process) calmRate() float64 {
+	f := p.cfg.BurstFraction
+	return p.cfg.Rate * (1 - f*p.cfg.Burst) / (1 - f)
+}
+
+// DwellFractions reports the observed split of virtual time across the two
+// MMPP modulation states, counting completed dwells only. Both values are 0
+// for non-MMPP processes or before the first state transition.
+func (p *Process) DwellFractions() (burst, calm float64) {
+	total := p.burstTime + p.calmTime
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(p.burstTime) / float64(total), float64(p.calmTime) / float64(total)
+}
+
+// stepThinned is Lewis-Shedler thinning: propose at the peak rate, accept
+// with probability λ(t)/λmax. Rejected proposals still advance time.
+func (p *Process) stepThinned(rate func(sim.Time) float64) func() bool {
+	return func() bool {
+		p.now += p.gap(p.maxRate)
+		return p.rand.Float64() < rate(p.now)/p.maxRate
+	}
+}
+
+func (p *Process) diurnalRate(t sim.Time) float64 {
+	phase := 2 * math.Pi * float64(t%p.cfg.Period) / float64(p.cfg.Period)
+	return p.cfg.Rate * (1 + p.cfg.Swing*math.Sin(phase))
+}
+
+func (p *Process) flashRate(t sim.Time) float64 {
+	if t >= p.cfg.FlashAt && t < p.cfg.FlashAt+p.cfg.FlashLen {
+		return p.cfg.Rate * p.cfg.FlashPeak
+	}
+	return p.cfg.Rate
+}

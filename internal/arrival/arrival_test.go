@@ -1,0 +1,236 @@
+package arrival
+
+import (
+	"math"
+	"testing"
+
+	"pmnet/internal/sim"
+)
+
+// Golden arrival streams, same style as the sim.Rand golden tests: these pin
+// the exact virtual-time sequence each process emits for a fixed seed. Every
+// open-loop experiment's byte-identity contract bottoms out here — if a
+// refactor shifts any value, previously published open-loop outputs silently
+// change. Captured from the initial implementation; never regenerate them to
+// make a failing test pass.
+var goldenStreams = map[Kind][8]sim.Time{
+	Poisson: {1825, 3933, 6321, 7516, 7692, 7702, 8359, 8702},
+	MMPP:    {9488, 20236, 25617, 26411, 26457, 29416, 30962, 32148},
+	Diurnal: {2438, 2803, 2949, 3475, 5335, 5759, 8807, 9042},
+	Flash:   {437, 1579, 1726, 2033, 4999, 6321, 7811, 8291},
+}
+
+func TestGoldenStreams(t *testing.T) {
+	for kind, want := range goldenStreams {
+		p := New(Config{Kind: kind, Rate: 1e6}, sim.NewRand(42))
+		for i, w := range want {
+			if got := p.Next(); got != w {
+				t.Errorf("%s seed 42: arrival #%d = %d, want %d (stream drifted)", kind, i, got, w)
+			}
+		}
+	}
+}
+
+func TestSameSeedSameStream(t *testing.T) {
+	for _, kind := range []Kind{Poisson, MMPP, Diurnal, Flash} {
+		a := New(Config{Kind: kind, Rate: 5e5}, sim.NewRand(7))
+		b := New(Config{Kind: kind, Rate: 5e5}, sim.NewRand(7))
+		for i := 0; i < 1000; i++ {
+			if av, bv := a.Next(), b.Next(); av != bv {
+				t.Fatalf("%s: same-seed streams diverged at #%d: %v != %v", kind, i, av, bv)
+			}
+		}
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	for _, kind := range []Kind{Poisson, MMPP, Diurnal, Flash} {
+		p := New(Config{Kind: kind, Rate: 1e8}, sim.NewRand(3))
+		prev := sim.Time(0)
+		for i := 0; i < 10000; i++ {
+			v := p.Next()
+			if v <= prev {
+				t.Fatalf("%s: arrival #%d = %v not after %v", kind, i, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestPoissonMoments checks the empirical inter-arrival mean and variance of
+// the Poisson process against the exponential's mean = stddev = 1/λ.
+func TestPoissonMoments(t *testing.T) {
+	const rate = 1e6 // → mean gap 1000 ns
+	const n = 200000
+	p := New(Config{Kind: Poisson, Rate: rate}, sim.NewRand(11))
+	gaps := make([]float64, n)
+	prev := sim.Time(0)
+	for i := range gaps {
+		v := p.Next()
+		gaps[i] = float64(v - prev)
+		prev = v
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / n
+	var sq float64
+	for _, g := range gaps {
+		sq += (g - mean) * (g - mean)
+	}
+	variance := sq / n
+
+	wantMean := 1e9 / rate
+	if rel := math.Abs(mean-wantMean) / wantMean; rel > 0.02 {
+		t.Errorf("mean gap %.1f ns, want %.1f ±2%% (rel err %.3f)", mean, wantMean, rel)
+	}
+	// Exponential: variance = mean². The 1 ns floor and integer truncation
+	// are negligible at a 1000 ns mean.
+	if rel := math.Abs(variance-wantMean*wantMean) / (wantMean * wantMean); rel > 0.05 {
+		t.Errorf("gap variance %.0f, want %.0f ±5%% (rel err %.3f)", variance, wantMean*wantMean, rel)
+	}
+}
+
+// TestMMPPDwellFractions runs the modulated process long enough to complete
+// many dwell episodes and checks the observed burst/calm time split against
+// the configured long-run fraction, plus the overall arrival rate.
+func TestMMPPDwellFractions(t *testing.T) {
+	// Short dwells so the run covers thousands of dwell cycles — with the
+	// default 1 ms burst dwell a 0.5 s run sees only ~50 cycles and the
+	// realized rate carries ~10% sampling noise, swamping the tolerance.
+	cfg := Config{Kind: MMPP, Rate: 1e6, Burst: 8, BurstFraction: 0.1, BurstDwell: 50 * sim.Microsecond}
+	p := New(cfg, sim.NewRand(19))
+	const n = 1000000
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		last = p.Next()
+	}
+	burst, calm := p.DwellFractions()
+	if burst == 0 && calm == 0 {
+		t.Fatal("no completed dwells observed")
+	}
+	if math.Abs(burst-cfg.BurstFraction) > 0.03 {
+		t.Errorf("burst dwell fraction %.3f, want %.3f ±0.03", burst, cfg.BurstFraction)
+	}
+	// Long-run mean arrival rate ≈ Rate despite the modulation.
+	gotRate := float64(n) / (float64(last) / 1e9)
+	if rel := math.Abs(gotRate-cfg.Rate) / cfg.Rate; rel > 0.05 {
+		t.Errorf("long-run rate %.0f/s, want %.0f ±5%%", gotRate, cfg.Rate)
+	}
+}
+
+// TestMMPPOverdispersion: the point of MMPP is burstiness — windowed arrival
+// counts must be overdispersed relative to Poisson (index of dispersion ≫ 1).
+func TestMMPPOverdispersion(t *testing.T) {
+	dispersion := func(kind Kind) float64 {
+		p := New(Config{Kind: kind, Rate: 1e6}, sim.NewRand(23))
+		const window = 200 * sim.Microsecond
+		counts := make([]float64, 0, 2048)
+		cur, limit := 0.0, window
+		for i := 0; i < 300000; i++ {
+			v := p.Next()
+			for v >= limit {
+				counts = append(counts, cur)
+				cur, limit = 0, limit+window
+			}
+			cur++
+		}
+		var sum float64
+		for _, c := range counts {
+			sum += c
+		}
+		mean := sum / float64(len(counts))
+		var sq float64
+		for _, c := range counts {
+			sq += (c - mean) * (c - mean)
+		}
+		return sq / float64(len(counts)) / mean
+	}
+	pois, mmpp := dispersion(Poisson), dispersion(MMPP)
+	if pois > 1.3 {
+		t.Errorf("Poisson index of dispersion %.2f, want ≈1", pois)
+	}
+	if mmpp < 3 {
+		t.Errorf("MMPP index of dispersion %.2f, want ≫1 (bursty)", mmpp)
+	}
+}
+
+// TestDiurnalMeanRate: over whole periods the sinusoid integrates out and the
+// mean rate must come back to Rate.
+func TestDiurnalMeanRate(t *testing.T) {
+	cfg := Config{Kind: Diurnal, Rate: 1e6, Period: 10 * sim.Millisecond, Swing: 0.8}
+	p := New(cfg, sim.NewRand(31))
+	const periods = 40
+	horizon := sim.Time(periods) * cfg.Period
+	n := 0
+	for {
+		if p.Next() > horizon {
+			break
+		}
+		n++
+	}
+	gotRate := float64(n) / (float64(horizon) / 1e9)
+	if rel := math.Abs(gotRate-cfg.Rate) / cfg.Rate; rel > 0.05 {
+		t.Errorf("diurnal mean rate %.0f/s over %d periods, want %.0f ±5%%", gotRate, periods, cfg.Rate)
+	}
+	// And the curve must actually swing: peak-quarter rate vs trough-quarter.
+	p2 := New(cfg, sim.NewRand(33))
+	var peak, trough int
+	for {
+		v := p2.Next()
+		if v > horizon {
+			break
+		}
+		switch (v % cfg.Period) * 4 / cfg.Period {
+		case 0: // rising quarter around sin>0
+			peak++
+		case 2: // falling quarter around sin<0
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Errorf("diurnal curve flat: peak-quarter %d ≤ trough-quarter %d arrivals", peak, trough)
+	}
+}
+
+// TestFlashCrowd: the rate during the flash window must be ≈FlashPeak× the
+// baseline outside it.
+func TestFlashCrowd(t *testing.T) {
+	cfg := Config{Kind: Flash, Rate: 1e6, FlashAt: 20 * sim.Millisecond,
+		FlashLen: 10 * sim.Millisecond, FlashPeak: 10}
+	p := New(cfg, sim.NewRand(37))
+	var before, during int
+	for {
+		v := p.Next()
+		if v >= cfg.FlashAt+cfg.FlashLen {
+			break
+		}
+		if v < cfg.FlashAt {
+			before++
+		} else {
+			during++
+		}
+	}
+	baseRate := float64(before) / (float64(cfg.FlashAt) / 1e9)
+	flashRate := float64(during) / (float64(cfg.FlashLen) / 1e9)
+	if rel := math.Abs(baseRate-cfg.Rate) / cfg.Rate; rel > 0.1 {
+		t.Errorf("pre-flash rate %.0f/s, want %.0f ±10%%", baseRate, cfg.Rate)
+	}
+	if ratio := flashRate / baseRate; ratio < 8 || ratio > 12 {
+		t.Errorf("flash rate ratio %.1fx, want ≈10x", ratio)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{"poisson": Poisson, "": Poisson,
+		"mmpp": MMPP, "diurnal": Diurnal, "flash": Flash} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded")
+	}
+}

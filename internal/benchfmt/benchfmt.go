@@ -64,6 +64,12 @@ type Cell struct {
 	MeanUs    float64 `json:"mean_us,omitempty"`
 	P50Us     float64 `json:"p50_us,omitempty"`
 	P99Us     float64 `json:"p99_us,omitempty"`
+	// Open-loop cells only (all omitempty so pre-open-loop documents and
+	// baselines round-trip unchanged): offered arrivals, completions and
+	// shed count in the measurement window, plus the deep-tail percentile.
+	Offered uint64  `json:"offered,omitempty"`
+	Shed    uint64  `json:"shed,omitempty"`
+	P999Us  float64 `json:"p999_us,omitempty"`
 	// Counters is the cell's unified metrics registry at quiescence —
 	// every layer's counters under dotted names (encoding/json emits map
 	// keys sorted, so the block is byte-stable across runs).
@@ -110,6 +116,13 @@ func FromBatch(b *harness.BatchResult) Doc {
 				jc.MeanUs = c.Run.Hist.Mean().Micros()
 				jc.P50Us = c.Run.Hist.Percentile(50).Micros()
 				jc.P99Us = c.Run.Hist.Percentile(99).Micros()
+			}
+			if c.Open != nil {
+				jc.Offered = c.Open.MeasuredOff
+				jc.Shed = c.Open.Shed
+				if c.Run != nil && c.Run.Requests > 0 {
+					jc.P999Us = c.Run.Hist.Percentile(99.9).Micros()
+				}
 			}
 			if len(c.Counters) > 0 {
 				jc.Counters = make(map[string]uint64, len(c.Counters))

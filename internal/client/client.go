@@ -37,6 +37,14 @@ type Config struct {
 	MaxRetries   int      // attempts before failing the request; 0 = 10
 	SrcPort      uint16   // 0 = 40000+Session
 	DstPort      uint16   // 0 = protocol.PortMin
+
+	// Backoff enables capped exponential backoff on retransmission: retry k
+	// re-arms at Timeout·2^k, capped at BackoffCap. Off by default so
+	// existing fixed-timeout outputs stay byte-identical; open-loop overload
+	// runs turn it on, otherwise every client past the knee retransmits in
+	// lockstep at a fixed period and the storm contaminates the measurement.
+	Backoff    bool
+	BackoffCap sim.Time // max per-retry timeout; 0 = 32×Timeout
 }
 
 // Result reports a completed request to the application.
@@ -153,6 +161,9 @@ func New(host *netsim.Host, cfg Config) *Session {
 	}
 	if cfg.Mode == ModePMNet && cfg.RequiredAcks <= 0 {
 		cfg.RequiredAcks = 1
+	}
+	if cfg.Backoff && cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 32 * cfg.Timeout
 	}
 	s := &Session{
 		host:       host,
@@ -271,7 +282,24 @@ func (s *Session) sendFrag(msg protocol.Message) {
 }
 
 func (s *Session) armTimer(p *pending) {
-	p.timer = s.eng.After(s.cfg.Timeout, p.timerFn)
+	p.timer = s.eng.After(s.timeoutFor(p.retries), p.timerFn)
+}
+
+// timeoutFor returns the retransmission timeout for the given retry count:
+// the fixed Timeout, or Timeout·2^retries capped at BackoffCap when Backoff
+// is on.
+func (s *Session) timeoutFor(retries int) sim.Time {
+	if !s.cfg.Backoff || retries <= 0 {
+		return s.cfg.Timeout
+	}
+	t := s.cfg.Timeout
+	for i := 0; i < retries && t < s.cfg.BackoffCap; i++ {
+		t *= 2
+	}
+	if t > s.cfg.BackoffCap {
+		t = s.cfg.BackoffCap
+	}
+	return t
 }
 
 func (s *Session) onTimeout(p *pending) {

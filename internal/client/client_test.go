@@ -285,3 +285,64 @@ func TestForeignSessionPacketsIgnored(t *testing.T) {
 		t.Fatal("foreign-session ACK completed our request")
 	}
 }
+
+// TestBackoffTimeoutSchedule pins the per-retry timeout sequence: doubling
+// from Timeout, capped at BackoffCap, and the plain fixed schedule when
+// Backoff is off.
+func TestBackoffTimeoutSchedule(t *testing.T) {
+	rig := newEchoRig(t)
+	s := rig.session(Config{Mode: ModePMNet, Timeout: 50 * sim.Microsecond,
+		Backoff: true, BackoffCap: 400 * sim.Microsecond})
+	want := []sim.Time{50, 100, 200, 400, 400, 400}
+	for k, w := range want {
+		if got := s.timeoutFor(k); got != w*sim.Microsecond {
+			t.Errorf("timeoutFor(%d) = %v, want %v", k, got, w*sim.Microsecond)
+		}
+	}
+	fixed := rig.session(Config{Mode: ModePMNet, Timeout: 50 * sim.Microsecond})
+	for k := 0; k < 6; k++ {
+		if got := fixed.timeoutFor(k); got != 50*sim.Microsecond {
+			t.Errorf("fixed timeoutFor(%d) = %v, want 50µs", k, got)
+		}
+	}
+}
+
+// TestBackoffDefaultCap: enabling Backoff without a cap defaults to
+// 32×Timeout.
+func TestBackoffDefaultCap(t *testing.T) {
+	rig := newEchoRig(t)
+	s := rig.session(Config{Mode: ModePMNet, Timeout: 10 * sim.Microsecond, Backoff: true})
+	if got := s.timeoutFor(10); got != 320*sim.Microsecond {
+		t.Errorf("timeoutFor(10) = %v, want 320µs (32×Timeout cap)", got)
+	}
+}
+
+// TestBackoffStretchesFailureTime: against a black hole, backoff must space
+// retries out — same retry budget, strictly later final failure — while the
+// default path keeps the exact fixed-timeout schedule (byte-identity of
+// existing outputs depends on it).
+func TestBackoffStretchesFailureTime(t *testing.T) {
+	failTime := func(backoff bool) sim.Time {
+		rig := newEchoRig(t)
+		rig.dropAll = true
+		s := rig.session(Config{Mode: ModePMNet, Timeout: 50 * sim.Microsecond,
+			MaxRetries: 3, Backoff: backoff})
+		var failed sim.Time
+		s.SendUpdate(protocol.PutReq([]byte("k"), []byte("v")), func(r Result) {
+			if r.Err == nil {
+				t.Fatal("request succeeded against a black hole")
+			}
+			failed = rig.eng.Now()
+		})
+		rig.eng.Run()
+		return failed
+	}
+	fixed := failTime(false)
+	if fixed != 200*sim.Microsecond { // 4 attempts × 50µs, unchanged schedule
+		t.Errorf("fixed-timeout failure at %v, want 200µs", fixed)
+	}
+	backed := failTime(true)
+	if backed != 750*sim.Microsecond { // 50+100+200+400
+		t.Errorf("backoff failure at %v, want 750µs", backed)
+	}
+}

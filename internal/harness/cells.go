@@ -38,6 +38,7 @@ type CellResult struct {
 	Key        string
 	Run        *stats.Run           // Cfg cells: the measurement window
 	Driver     workload.DriverStats // Cfg cells: driver accounting
+	Open       *OpenLoopResult      // open-loop Cfg cells: arrival/admission accounting
 	V          any                  // Custom cells: experiment-defined payload
 	VirtualEnd sim.Time             // virtual clock at cell completion
 	Events     uint64               // Cfg cells: simulator events fired (deterministic per seed)
@@ -71,6 +72,7 @@ func execCell(c Cell) CellResult {
 		}
 		out.Run = res.Run
 		out.Driver = res.Driver
+		out.Open = res.Open
 		out.VirtualEnd = res.Bed.Now()
 		out.Events = res.Bed.EventsRun()
 		out.Counters = res.Bed.Counters().Snapshot()

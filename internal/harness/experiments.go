@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pmnet/internal/sim"
 	"pmnet/internal/stats"
 )
 
@@ -45,6 +46,7 @@ var Specs = map[string]*Spec{
 	"tpcclock": {ID: "tpcclock", Enumerate: tpcclockCells, Render: tpcclockRender},
 	"tail":     {ID: "tail", Enumerate: tailCells, Render: tailRender},
 	"scale":    {ID: "scale", Enumerate: scaleCells, Render: scaleRender},
+	"openloop": openloopSpec(1000000, 30*sim.Millisecond),
 }
 
 // fig19Spec parameterizes the Figure 19 sweep; the registered experiment
@@ -76,12 +78,13 @@ var Experiments = map[string]func(seed uint64) Result{
 	"tail":     TailContention,
 	"fig20cdf": Fig20FullCDF,
 	"scale":    ScaleSharded,
+	"openloop": OpenLoopKnee,
 }
 
 // ExperimentOrder lists experiments in the paper's presentation order.
 var ExperimentOrder = []string{
 	"fig2", "fig15", "fig16", "fig18", "fig19", "fig20", "fig20cdf", "fig21",
-	"fig22", "recovery", "tpcclock", "tail", "scale",
+	"fig22", "recovery", "tpcclock", "tail", "scale", "openloop",
 }
 
 // Fig2Breakdown reproduces Figure 2 (see fig2Render).
@@ -127,3 +130,6 @@ func TailContention(seed uint64) Result { return RunSpec(Specs["tail"], seed, 1)
 
 // ScaleSharded runs the sharded saturation sweep (see scaleRender).
 func ScaleSharded(seed uint64) Result { return RunSpec(Specs["scale"], seed, 1) }
+
+// OpenLoopKnee runs the million-user open-loop sweep (see openloopRender).
+func OpenLoopKnee(seed uint64) Result { return RunSpec(Specs["openloop"], seed, 1) }

@@ -11,7 +11,9 @@ import (
 
 	"pmnet"
 	"pmnet/internal/apps"
+	"pmnet/internal/arrival"
 	"pmnet/internal/kv"
+	"pmnet/internal/openloop"
 	"pmnet/internal/rediskv"
 	"pmnet/internal/sim"
 	"pmnet/internal/stats"
@@ -76,6 +78,29 @@ type RunConfig struct {
 	// many engine shards (pmnet.Config.Shards). Results are byte-identical
 	// for every Shards ≥ 1; 0 keeps the classic single-engine path.
 	Shards int
+
+	// Open-loop mode, selected by OfferedLoad > 0: instead of Clients
+	// closed loops issuing Requests each, arrivals are generated at
+	// OfferedLoad requests/s of virtual time for Duration, multiplexing
+	// Users logical user sessions over the client transports
+	// (internal/openloop). Clients still sets the transport count — the
+	// offered load and user range are split evenly across them — and
+	// Requests/Warmup are ignored in favor of Duration/WarmupDur.
+	OfferedLoad float64  // aggregate user actions per second (> 0 = open loop)
+	Duration    sim.Time // arrival horizon; default 50 ms
+	WarmupDur   sim.Time // measurement window opens here; default Duration/5
+	Users       int      // logical user population; default 100000
+	// Arrival shapes the process (Kind, burst/diurnal/flash parameters);
+	// Rate is derived from OfferedLoad and must be left zero.
+	Arrival arrival.Config
+	// MaxInFlight caps concurrently active user actions across all clients
+	// (excess arrivals are shed, not queued); default 1024.
+	MaxInFlight int
+	// RetryBackoff enables capped exponential retransmission backoff on the
+	// client sessions (pmnet.Config.RetryBackoff) — used by the open-loop
+	// experiment so past-knee behavior measures queueing, not a fixed-period
+	// retransmission storm.
+	RetryBackoff bool
 }
 
 func (c *RunConfig) defaults() {
@@ -97,6 +122,20 @@ func (c *RunConfig) defaults() {
 	if c.UpdateRatio < 0 {
 		c.UpdateRatio = 1.0
 	}
+	if c.OfferedLoad > 0 {
+		if c.Duration <= 0 {
+			c.Duration = 50 * sim.Millisecond
+		}
+		if c.WarmupDur <= 0 {
+			c.WarmupDur = c.Duration / 5
+		}
+		if c.Users <= 0 {
+			c.Users = 100000
+		}
+		if c.MaxInFlight <= 0 {
+			c.MaxInFlight = 1024
+		}
+	}
 }
 
 // RunResult aggregates one run.
@@ -104,6 +143,17 @@ type RunResult struct {
 	Run    *stats.Run
 	Driver workload.DriverStats
 	Bed    *pmnet.Testbed
+	// Open is set on open-loop runs only: arrival/admission accounting plus
+	// the merged exact-tail reservoir.
+	Open *OpenLoopResult
+}
+
+// OpenLoopResult carries the open-loop accounting of a run: the Stats are
+// summed across clients (peaks take the max), the Reservoir is the
+// deterministic merge of the per-client tail samples.
+type OpenLoopResult struct {
+	openloop.Stats
+	Reservoir *stats.Reservoir
 }
 
 // buildHandler creates the server application for a workload, returning the
@@ -213,8 +263,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		CrossTrafficGbps: cfg.CrossTrafficGbps,
 		Trace:            cfg.Trace,
 		Shards:           cfg.Shards,
+		RetryBackoff:     cfg.RetryBackoff,
 	})
 	prefill()
+	if cfg.OfferedLoad > 0 {
+		// Open-loop mode works on both testbed paths: drivers live on their
+		// client's engine (the global engine classically, the client's
+		// partition engine when sharded) and merge in client-index order.
+		return runOpenLoop(&cfg, bed)
+	}
 	if bed.Sharded() {
 		// The sharded testbed drives clients on different engines (and worker
 		// goroutines), so the single-threaded closure wiring below would race;

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"pmnet/internal/sim"
+)
+
+// Reservoir is a deterministic fixed-capacity uniform sample of a stream
+// (Vitter's Algorithm R), used for exact-tail spot checks alongside the
+// bucketed Histogram: the histogram answers "p99.9 within ~3%", the reservoir
+// answers "what exact latencies live out there". All randomness comes from a
+// seeded sim.Rand, so at a fixed seed the retained sample — and anything
+// rendered from it — is byte-reproducible. Memory is O(capacity) no matter
+// how many samples stream through.
+type Reservoir struct {
+	cap     int
+	rand    *sim.Rand
+	seen    uint64
+	samples []sim.Time
+}
+
+// NewReservoir returns an empty reservoir holding at most capacity samples,
+// drawing replacement decisions from a stream seeded with seed.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		panic("stats: non-positive reservoir capacity")
+	}
+	return &Reservoir{cap: capacity, rand: sim.NewRand(seed)}
+}
+
+// Record offers one sample. Each of the n samples seen so far has an equal
+// capacity/n chance of being retained.
+func (r *Reservoir) Record(v sim.Time) {
+	r.seen++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, v)
+		return
+	}
+	if j := r.rand.Uint64() % r.seen; j < uint64(r.cap) {
+		r.samples[j] = v
+	}
+}
+
+// Seen returns the total number of samples offered.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Len returns the number of samples currently retained.
+func (r *Reservoir) Len() int { return len(r.samples) }
+
+// Merge folds other into r: the result is a weighted draw from both retained
+// sets, each side weighted by how many stream samples it represents. Callers
+// must merge in a fixed order (the harness merges per-client reservoirs in
+// client-index order) for byte-identical results.
+func (r *Reservoir) Merge(other *Reservoir) {
+	if other.seen == 0 {
+		return
+	}
+	if r.seen == 0 {
+		r.samples = append(r.samples[:0], other.samples...)
+		r.seen = other.seen
+		return
+	}
+	a := append([]sim.Time(nil), r.samples...)
+	b := other.samples
+	wa, wb := float64(r.seen), float64(other.seen)
+	merged := r.samples[:0]
+	ai, bi := 0, 0
+	for len(merged) < r.cap && (ai < len(a) || bi < len(b)) {
+		takeA := bi >= len(b) || (ai < len(a) && r.rand.Float64() < wa/(wa+wb))
+		if takeA {
+			merged = append(merged, a[ai])
+			ai++
+		} else {
+			merged = append(merged, b[bi])
+			bi++
+		}
+	}
+	r.samples = merged
+	r.seen += other.seen
+}
+
+// Percentile returns the exact nearest-rank p-th percentile of the retained
+// sample (0 < p ≤ 100), or 0 when empty.
+func (r *Reservoir) Percentile(p float64) sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	s := Sorted(r.samples)
+	if p <= 0 {
+		return s[0]
+	}
+	idx := int(p/100*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Samples returns the retained samples in sorted order.
+func (r *Reservoir) Samples() []sim.Time {
+	return Sorted(r.samples)
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"testing"
+
+	"pmnet/internal/sim"
+)
+
+// Regression for the CDF/Percentile clamp mismatch: CDF() used to emit raw
+// bucket representatives while Percentile() clamped them to [min, max], so a
+// rendered CDF endpoint could disagree with the reported max from the same
+// histogram. Both must clamp identically.
+func TestCDFClampSingleSample(t *testing.T) {
+	h := NewHistogram()
+	// 1001 lives in a bucket whose representative is 1000 — below the
+	// observed min — so an unclamped CDF would report a latency the
+	// histogram never saw.
+	h.Record(1001)
+	cdf := h.CDF()
+	if len(cdf) != 1 {
+		t.Fatalf("CDF() returned %d points, want 1", len(cdf))
+	}
+	if cdf[0].Latency != 1001 || cdf[0].Fraction != 1.0 {
+		t.Errorf("CDF() = {%v, %v}, want {1001, 1}", cdf[0].Latency, cdf[0].Fraction)
+	}
+	if got, want := cdf[0].Latency, h.Percentile(100); got != want {
+		t.Errorf("CDF endpoint %v disagrees with p100 %v", got, want)
+	}
+}
+
+func TestCDFClampTwoSamples(t *testing.T) {
+	h := NewHistogram()
+	// 1030's bucket representative is 1040 > max; 1001's is 1000 < min.
+	h.Record(1001)
+	h.Record(1030)
+	cdf := h.CDF()
+	if len(cdf) != 2 {
+		t.Fatalf("CDF() returned %d points, want 2", len(cdf))
+	}
+	if cdf[0].Latency != 1001 {
+		t.Errorf("first CDF point latency %v, want clamped-to-min 1001", cdf[0].Latency)
+	}
+	if cdf[1].Latency != 1030 {
+		t.Errorf("last CDF point latency %v, want clamped-to-max 1030", cdf[1].Latency)
+	}
+	for _, pt := range cdf {
+		if pt.Latency < h.Min() || pt.Latency > h.Max() {
+			t.Errorf("CDF latency %v outside observed range [%v, %v]", pt.Latency, h.Min(), h.Max())
+		}
+	}
+}
+
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 50; i++ {
+		r.Record(sim.Time(i))
+	}
+	if r.Len() != 50 || r.Seen() != 50 {
+		t.Fatalf("len=%d seen=%d, want 50/50", r.Len(), r.Seen())
+	}
+	if got := r.Percentile(100); got != 50 {
+		t.Errorf("p100 = %v, want 50 (exact below capacity)", got)
+	}
+	if got := r.Percentile(50); got != 25 {
+		t.Errorf("p50 = %v, want 25", got)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		r := NewReservoir(64, 9)
+		rnd := sim.NewRand(4)
+		for i := 0; i < 100000; i++ {
+			r.Record(sim.Time(rnd.Intn(1 << 20)))
+		}
+		return r.Samples()
+	}
+	a, b := run(), run()
+	if len(a) != 64 {
+		t.Fatalf("retained %d, want 64", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed reservoirs diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// The retained sample must stay approximately uniform over the stream: feed
+// 0..n-1 and check the retained mean sits near n/2.
+func TestReservoirUniformity(t *testing.T) {
+	const n = 1 << 18
+	r := NewReservoir(512, 7)
+	for i := 0; i < n; i++ {
+		r.Record(sim.Time(i))
+	}
+	var sum float64
+	for _, v := range r.Samples() {
+		sum += float64(v)
+	}
+	mean := sum / float64(r.Len())
+	if mean < 0.4*n || mean > 0.6*n {
+		t.Errorf("retained mean %.0f, want ≈%d (uniform over stream)", mean, n/2)
+	}
+}
+
+func TestReservoirMergeDeterministic(t *testing.T) {
+	build := func() (*Reservoir, *Reservoir) {
+		a := NewReservoir(32, 11)
+		b := NewReservoir(32, 12)
+		for i := 0; i < 1000; i++ {
+			a.Record(sim.Time(i))
+			b.Record(sim.Time(100000 + i))
+		}
+		return a, b
+	}
+	a1, b1 := build()
+	a2, b2 := build()
+	a1.Merge(b1)
+	a2.Merge(b2)
+	if a1.Seen() != 2000 {
+		t.Fatalf("merged seen = %d, want 2000", a1.Seen())
+	}
+	s1, s2 := a1.Samples(), a2.Samples()
+	if len(s1) != 32 {
+		t.Fatalf("merged len = %d, want 32", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same-seed merges diverged at %d", i)
+		}
+	}
+	// Both sides must be represented (equal weights, 32 slots).
+	var lo, hi int
+	for _, v := range s1 {
+		if v < 100000 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Errorf("merge dropped a side entirely: lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestReservoirMergeIntoEmpty(t *testing.T) {
+	a := NewReservoir(16, 1)
+	b := NewReservoir(16, 2)
+	for i := 1; i <= 10; i++ {
+		b.Record(sim.Time(i))
+	}
+	a.Merge(b)
+	if a.Seen() != 10 || a.Len() != 10 {
+		t.Fatalf("seen=%d len=%d, want 10/10", a.Seen(), a.Len())
+	}
+	a.Merge(NewReservoir(16, 3)) // merging an empty reservoir is a no-op
+	if a.Seen() != 10 {
+		t.Fatalf("empty merge changed seen to %d", a.Seen())
+	}
+}

@@ -133,7 +133,10 @@ type CDFPoint struct {
 	Fraction float64
 }
 
-// CDF returns the cumulative distribution at every non-empty bucket.
+// CDF returns the cumulative distribution at every non-empty bucket. Bucket
+// representatives are clamped to the observed [min, max] exactly like
+// Percentile, so a rendered CDF endpoint always agrees with the reported
+// p99/max from the same histogram.
 func (h *Histogram) CDF() []CDFPoint {
 	if h.total == 0 {
 		return nil
@@ -145,7 +148,14 @@ func (h *Histogram) CDF() []CDFPoint {
 			continue
 		}
 		cum += c
-		out = append(out, CDFPoint{Latency: bucketMid(i), Fraction: float64(cum) / float64(h.total)})
+		v := bucketMid(i)
+		if v > h.max {
+			v = h.max
+		}
+		if v < h.min {
+			v = h.min
+		}
+		out = append(out, CDFPoint{Latency: v, Fraction: float64(cum) / float64(h.total)})
 	}
 	return out
 }

@@ -57,6 +57,15 @@ type Config struct {
 	// Timeout is the client retransmission timeout; default 1 ms.
 	Timeout Time
 
+	// RetryBackoff enables capped exponential backoff on client
+	// retransmission (retry k waits Timeout·2^k, capped at BackoffCap,
+	// default 32×Timeout). Off by default: the fixed-timeout schedule is
+	// pinned by existing golden outputs. Open-loop overload experiments turn
+	// it on so the region past the knee measures queueing, not a
+	// fixed-period retransmission storm.
+	RetryBackoff bool
+	BackoffCap   Time
+
 	// LossRate injects random packet loss on every link (for protocol
 	// robustness experiments).
 	LossRate float64
@@ -297,6 +306,8 @@ func NewTestbed(cfg Config) *Testbed {
 			Mode:         mode,
 			RequiredAcks: required,
 			Timeout:      cfg.Timeout,
+			Backoff:      cfg.RetryBackoff,
+			BackoffCap:   cfg.BackoffCap,
 		})
 		tb.Sessions = append(tb.Sessions, sess)
 	}

@@ -213,6 +213,8 @@ func newShardedTestbed(cfg Config, link netsim.LinkConfig) *Testbed {
 			Mode:         mode,
 			RequiredAcks: required,
 			Timeout:      cfg.Timeout,
+			Backoff:      cfg.RetryBackoff,
+			BackoffCap:   cfg.BackoffCap,
 		})
 		tb.Sessions = append(tb.Sessions, sess)
 	}
