@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test race vet lint lint-sarif ci bench bench-json microbench trace-smoke \
-	shard-smoke openloop-smoke bench-baseline bench-regression benchdiff
+	shard-smoke openloop-smoke speedup-smoke bench-baseline bench-regression benchdiff
 
 all: build test
 
@@ -28,7 +28,7 @@ lint-sarif:
 	$(GO) run ./cmd/pmnetlint -format sarif ./... > lint.sarif
 
 # Everything CI runs, in the same order.
-ci: build test race vet lint trace-smoke shard-smoke openloop-smoke
+ci: build test race vet lint trace-smoke shard-smoke openloop-smoke speedup-smoke
 
 # Trace determinism smoke: the pinned scenario's chrome://tracing bytes must
 # match the golden (same bytes TestTraceGoldenSmoke pins), and 8 concurrent
@@ -47,8 +47,8 @@ trace-smoke:
 # matching alloc_test.go files). Override BENCHTIME=1x for a CI smoke run.
 BENCHTIME ?= 1s
 microbench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule|BenchmarkTransmit|BenchmarkPersistAll' \
-		-benchtime $(BENCHTIME) -benchmem ./internal/sim ./internal/netsim ./internal/pmem
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule|BenchmarkTransmit|BenchmarkPersistAll|BenchmarkEpochOverhead|BenchmarkBarrier' \
+		-benchtime $(BENCHTIME) -benchmem ./internal/sim ./internal/netsim ./internal/pmem ./internal/sim/pdes
 
 # Full experiment suite, cells on a GOMAXPROCS-sized worker pool.
 bench:
@@ -81,6 +81,21 @@ shard-smoke:
 openloop-smoke:
 	$(GO) test -run TestOpenLoopMemoryFlat -v ./internal/harness
 	@echo "openloop-smoke: 10x users, flat retained heap"
+
+# Speedup-curve smoke: the "speedup" experiment runs one pinned scenario at
+# shards 1, 2 and 4 and renders the per-shard virtual-time observables side
+# by side — any divergence shows up as a loud MISMATCH row. The fresh JSON is
+# then benchdiff-gated against the committed baseline (unmatched baseline
+# cells are tolerated; the gate covers matched cells). The wall-clock curve
+# itself is machine-relative: flat at cpus=1 is the shared worker budget
+# working as designed, not a regression.
+speedup-smoke:
+	$(GO) run ./cmd/pmnetbench -run speedup -seed 1 -parallel 1 > /tmp/pmnet_speedup.txt
+	@! grep -q MISMATCH /tmp/pmnet_speedup.txt || \
+		{ echo "speedup-smoke: shard counts diverged:"; cat /tmp/pmnet_speedup.txt; exit 1; }
+	$(GO) run ./cmd/pmnetbench -run speedup -seed 1 -parallel 1 -json > /tmp/pmnet_speedup.json
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json /tmp/pmnet_speedup.json
+	@echo "speedup-smoke: shards 1/2/4 byte-identical observables; events/sec gated"
 
 # Regenerate the committed wall-clock baseline (run on a quiet machine, then
 # commit the file so `make bench-regression` and CI have a reference point).

@@ -130,6 +130,42 @@ func TestMatchedRegressionStillFails(t *testing.T) {
 	}
 }
 
+// TestCommittedFixtureWarnPath pins the warn path against committed
+// documents: testdata/baseline_pre_speedup.json predates the speedup
+// experiment, testdata/with_speedup.json includes it. The diff must warn
+// per unmatched speedup cell, restrict the gate to the matched fig2 cells,
+// and exit 0 — the exact CI situation the first run after adding an
+// experiment lands in, recorded as bytes so a regression in the matching
+// logic cannot hide behind the doc builders above.
+func TestCommittedFixtureWarnPath(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"testdata/baseline_pre_speedup.json",
+		"testdata/with_speedup.json",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d for baseline missing the speedup experiment, want 0\noutput:\n%s%s",
+			code, out.String(), errOut.String())
+	}
+	for _, sh := range []string{"1", "2", "4"} {
+		want := "warn: cell speedup/shards=" + sh + " has no baseline counterpart"
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing warning %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "gating on matched cells only") {
+		t.Errorf("gate was not restricted to matched cells:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "OK: matched-cell events_per_sec") {
+		t.Errorf("matched-cell gate did not pass:\n%s", out.String())
+	}
+	// The matched fig2 cells got slightly faster, so no workload-mismatch
+	// flag may appear: their event counts are identical by construction.
+	if strings.Contains(out.String(), "[!]") {
+		t.Errorf("spurious workload-mismatch flag:\n%s", out.String())
+	}
+}
+
 // TestIdenticalDocsPass: the no-op diff stays green and uses the batch gate.
 func TestIdenticalDocsPass(t *testing.T) {
 	dir := t.TempDir()

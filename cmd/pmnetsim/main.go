@@ -60,6 +60,7 @@ func main() {
 	duration := flag.Float64("duration", 0, "open-loop run length in virtual milliseconds (0 = harness default)")
 	users := flag.Int("users", 0, "open-loop logical user population (0 = harness default)")
 	arrivalKind := flag.String("arrival", "poisson", "open-loop arrival process: poisson | mmpp | diurnal | flash")
+	arrivalTrace := flag.String("arrival-trace", "", "replay recorded open-loop arrivals from this file (one ns timestamp per line; excludes -offered-load)")
 	backoff := flag.Bool("backoff", false, "capped exponential client retransmission backoff")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	traceFile := flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
@@ -102,6 +103,10 @@ func main() {
 		Shards:           *shards,
 		RetryBackoff:     *backoff,
 	}
+	if *offered > 0 && *arrivalTrace != "" {
+		fmt.Fprintln(os.Stderr, "pmnetsim: -offered-load and -arrival-trace are mutually exclusive")
+		os.Exit(2)
+	}
 	if *offered > 0 {
 		kind, err := arrival.ParseKind(*arrivalKind)
 		if err != nil {
@@ -112,6 +117,11 @@ func main() {
 		cfg.Duration = sim.Time(*duration * float64(sim.Millisecond))
 		cfg.Users = *users
 		cfg.Arrival.Kind = kind
+	}
+	if *arrivalTrace != "" {
+		cfg.ArrivalTrace = *arrivalTrace
+		cfg.Duration = sim.Time(*duration * float64(sim.Millisecond))
+		cfg.Users = *users
 	}
 	if *par < 1 {
 		*par = 1
@@ -196,8 +206,13 @@ func main() {
 		res.Driver.Completed, res.Driver.Updates, res.Driver.Bypasses,
 		res.Driver.LockOps, res.Driver.LockRetries)
 	if open := res.Open; open != nil {
-		fmt.Printf("open-loop     %s arrivals, %.0f actions/s offered, %d users\n",
-			*arrivalKind, *offered, cfg.Users)
+		if *arrivalTrace != "" {
+			fmt.Printf("open-loop     trace replay from %s, %d users\n",
+				*arrivalTrace, cfg.Users)
+		} else {
+			fmt.Printf("open-loop     %s arrivals, %.0f actions/s offered, %d users\n",
+				*arrivalKind, *offered, cfg.Users)
+		}
 		fmt.Printf("admission     offered=%d admitted=%d shed=%d peak-active=%d peak-sessions=%d\n",
 			open.Offered, open.Admitted, open.Shed, open.PeakActive, open.PeakSessions)
 		fmt.Printf("goodput       %.0f req/s (measured window: %d arrivals, %d completions)\n",

@@ -1,0 +1,127 @@
+package arrival
+
+// Trace replay: an arrival source that plays back a recorded timestamp file
+// instead of sampling a synthetic process. Production arrival streams have
+// structure no Poisson/MMPP fit captures (correlated bursts, daily edges,
+// retry storms); replaying a captured trace through the same open-loop
+// driver makes the harness comparable against real traffic shapes.
+//
+// A trace file is plain text: one arrival time per line, in nanoseconds of
+// virtual time, non-decreasing; blank lines and #-comments are skipped. One
+// file describes the WHOLE cluster's arrivals; per-client sources take
+// disjoint strided views (client i of n replays timestamps i, i+n, i+2n, …),
+// so the split is a pure function of (file, client index, client count) and
+// adding clients never reorders anyone's stream.
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"pmnet/internal/sim"
+)
+
+// Source is the arrival-stream interface the open-loop driver consumes: Next
+// returns the absolute virtual time of the next arrival, strictly
+// increasing. Exhausted sources return times past any run duration.
+type Source interface {
+	Next() sim.Time
+}
+
+// Process implements Source.
+var _ Source = (*Process)(nil)
+
+// exhausted is returned by a drained replay — beyond any Duration, so the
+// driver stops scheduling.
+const exhausted = sim.Time(math.MaxInt64)
+
+// TraceFile is a parsed arrival trace.
+type TraceFile struct {
+	times []sim.Time
+}
+
+// Len returns the number of recorded arrivals.
+func (tf *TraceFile) Len() int { return len(tf.times) }
+
+// ReadTraceFile parses a trace file (see the package comment for the
+// format), validating that timestamps are non-negative and non-decreasing.
+func ReadTraceFile(path string) (*TraceFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tf := &TraceFile{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		ns, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad arrival time %q: %v", path, line, s, err)
+		}
+		t := sim.Time(ns)
+		if t < 0 {
+			return nil, fmt.Errorf("%s:%d: negative arrival time %d", path, line, ns)
+		}
+		if n := len(tf.times); n > 0 && t < tf.times[n-1] {
+			return nil, fmt.Errorf("%s:%d: arrival time %d decreases (previous %d)", path, line, ns, tf.times[n-1])
+		}
+		tf.times = append(tf.times, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(tf.times) == 0 {
+		return nil, fmt.Errorf("%s: trace holds no arrivals", path)
+	}
+	return tf, nil
+}
+
+// Client returns client i's strided view of an n-client split. The view
+// shares the parsed slice (read-only), so per-client sources cost no copies.
+func (tf *TraceFile) Client(i, n int) *Replay {
+	if n <= 0 || i < 0 || i >= n {
+		panic(fmt.Sprintf("arrival: bad trace split client %d of %d", i, n))
+	}
+	return &Replay{times: tf.times, idx: i, stride: n}
+}
+
+// Replay plays one strided view of a trace. Implements Source; returned
+// times are strictly increasing (duplicate recorded timestamps are nudged
+// forward 1 ns, matching the synthetic processes' 1 ns floor), and a drained
+// replay keeps returning a time past any run duration.
+type Replay struct {
+	times  []sim.Time
+	idx    int
+	stride int
+	last   sim.Time
+	played int
+}
+
+var _ Source = (*Replay)(nil)
+
+// Next returns the next recorded arrival in this view.
+func (p *Replay) Next() sim.Time {
+	if p.idx >= len(p.times) {
+		return exhausted
+	}
+	t := p.times[p.idx]
+	p.idx += p.stride
+	p.played++
+	if p.played > 1 && t <= p.last {
+		t = p.last + 1
+	}
+	p.last = t
+	return t
+}
+
+// Played reports how many arrivals this view has produced.
+func (p *Replay) Played() int { return p.played }

@@ -1,0 +1,134 @@
+package arrival
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmnet/internal/sim"
+)
+
+func writeTrace(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "trace.txt")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadTraceFileGolden(t *testing.T) {
+	tf, err := ReadTraceFile("testdata/trace_sample.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Len() != 24 {
+		t.Fatalf("fixture holds %d arrivals, want 24", tf.Len())
+	}
+	if tf.times[0] != 1000 || tf.times[23] != 118000 {
+		t.Fatalf("fixture endpoints %d..%d, want 1000..118000", tf.times[0], tf.times[23])
+	}
+}
+
+func TestReadTraceFileSkipsCommentsAndBlanks(t *testing.T) {
+	p := writeTrace(t, "# header\n\n10\n  20  \n\n# mid\n30\n")
+	tf, err := ReadTraceFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Len() != 3 {
+		t.Fatalf("parsed %d arrivals, want 3", tf.Len())
+	}
+}
+
+func TestReadTraceFileRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":    "10\nnope\n",
+		"negative":   "-5\n",
+		"decreasing": "10\n20\n15\n",
+		"empty":      "# only comments\n\n",
+	}
+	for name, body := range cases {
+		p := writeTrace(t, body)
+		if _, err := ReadTraceFile(p); err == nil {
+			t.Errorf("%s trace parsed without error", name)
+		}
+	}
+}
+
+// TestClientSplitCoversDisjointly: the strided views of an n-way split
+// together replay every recorded arrival exactly once.
+func TestClientSplitCoversDisjointly(t *testing.T) {
+	tf, err := ReadTraceFile("testdata/trace_sample.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		total := 0
+		for i := 0; i < n; i++ {
+			v := tf.Client(i, n)
+			for v.Next() != exhausted {
+			}
+			total += v.Played()
+		}
+		if total != tf.Len() {
+			t.Errorf("split %d-way replayed %d arrivals, want %d", n, total, tf.Len())
+		}
+	}
+}
+
+// TestReplayStrictlyIncreasing: duplicate recorded timestamps are nudged
+// forward so the driver always sees strictly increasing arrival times.
+func TestReplayStrictlyIncreasing(t *testing.T) {
+	tf, err := ReadTraceFile("testdata/trace_sample.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tf.Client(0, 1)
+	last := sim.Time(-1)
+	for {
+		tm := v.Next()
+		if tm == exhausted {
+			break
+		}
+		if tm <= last {
+			t.Fatalf("arrival %d not after previous %d", tm, last)
+		}
+		last = tm
+	}
+}
+
+func TestReplayExhaustionIsSticky(t *testing.T) {
+	p := writeTrace(t, "5\n")
+	tf, err := ReadTraceFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tf.Client(0, 2) // client 0 of 2 owns the single arrival
+	if got := v.Next(); got != 5 {
+		t.Fatalf("first arrival %d, want 5", got)
+	}
+	for i := 0; i < 3; i++ {
+		if got := v.Next(); got != exhausted {
+			t.Fatalf("drained replay returned %d, want exhausted sentinel", got)
+		}
+	}
+	v1 := tf.Client(1, 2) // client 1 owns nothing
+	if got := v1.Next(); got != exhausted {
+		t.Fatalf("empty view returned %d, want exhausted sentinel", got)
+	}
+}
+
+func TestClientSplitPanicsOnBadIndex(t *testing.T) {
+	tf := &TraceFile{times: []sim.Time{1}}
+	for _, c := range []struct{ i, n int }{{0, 0}, {-1, 2}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Client(%d, %d) did not panic", c.i, c.n)
+				}
+			}()
+			tf.Client(c.i, c.n)
+		}()
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 
 	"pmnet/internal/harness"
 )
@@ -23,10 +24,14 @@ const Schema = "pmnetbench/v1"
 // Doc is one pmnetbench batch: the experiments it ran plus the batch-level
 // perf trajectory.
 type Doc struct {
-	Schema      string       `json:"schema"`
-	Seed        uint64       `json:"seed"`
-	Parallel    int          `json:"parallel"`
-	Shards      int          `json:"shards,omitempty"`
+	Schema   string `json:"schema"`
+	Seed     uint64 `json:"seed"`
+	Parallel int    `json:"parallel"`
+	Shards   int    `json:"shards,omitempty"`
+	// CPUs records the writing machine's logical core count — metadata for
+	// reading wall-clock curves: a flat speedup curve on cpus=1 is the
+	// worker budget working as designed, not a regression.
+	CPUs        int          `json:"cpus,omitempty"`
 	WallMs      float64      `json:"wall_ms"`
 	Perf        Perf         `json:"perf"`
 	Experiments []Experiment `json:"experiments"`
@@ -83,6 +88,7 @@ func FromBatch(b *harness.BatchResult) Doc {
 		Seed:     b.Seed,
 		Parallel: b.Parallel,
 		Shards:   b.Shards,
+		CPUs:     runtime.NumCPU(),
 		WallMs:   float64(b.Wall.Microseconds()) / 1e3,
 		Perf: Perf{
 			Events:         b.Perf.Events,

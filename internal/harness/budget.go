@@ -1,0 +1,61 @@
+package harness
+
+// Process-wide core budget shared by the two parallelism layers: the batch
+// cell pool (parallel.go) and the per-testbed shard worker pools
+// (internal/sim/pdes via pmnet.Config.WorkerBudget). Before the budget, a
+// `-parallel N -shards M` batch would spin up N·M workers on a GOMAXPROCS-
+// core machine and every one of them paid barrier-spin tax; with it, the
+// pool reserves its worker cores up front and sharded runs borrow only what
+// is left — worker counts never affect results (the pdes determinism
+// contract), so the budget trades nothing but wall clock.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// CoreBudget is a non-blocking token pool. Capacity counts EXTRA workers
+// beyond the one the borrowing goroutine already is, so a capacity of
+// GOMAXPROCS-1 keeps total busy workers at the core count.
+type CoreBudget struct {
+	mu    sync.Mutex
+	avail int
+}
+
+// NewCoreBudget creates a budget with n tokens (clamped at ≥ 0).
+func NewCoreBudget(n int) *CoreBudget {
+	if n < 0 {
+		n = 0
+	}
+	return &CoreBudget{avail: n}
+}
+
+// Acquire takes up to want tokens without blocking and returns how many it
+// got (possibly 0 — the caller always owns its own goroutine's worker).
+func (b *CoreBudget) Acquire(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	got := want
+	if got > b.avail {
+		got = b.avail
+	}
+	b.avail -= got
+	return got
+}
+
+// Release returns n tokens to the pool.
+func (b *CoreBudget) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.avail += n
+	b.mu.Unlock()
+}
+
+// sharedBudget is the process-wide pool every harness Run hands to its
+// testbed. Written once at init, mutated only through the mutex.
+var sharedBudget = NewCoreBudget(runtime.GOMAXPROCS(0) - 1)

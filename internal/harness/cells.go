@@ -78,6 +78,12 @@ func execCell(c Cell) CellResult {
 		out.Counters = res.Bed.Counters().Snapshot()
 	} else {
 		out.V, out.VirtualEnd = c.Custom()
+		// Custom cells that know their deterministic event count surface it
+		// through this hook so the BENCH JSON can rate them (ns/event) like
+		// Cfg cells.
+		if v, ok := out.V.(interface{ CellEvents() uint64 }); ok {
+			out.Events = v.CellEvents()
+		}
 	}
 	//pmnetlint:ignore wallclock real elapsed time is reported only, never simulated
 	out.Wall = time.Since(start)

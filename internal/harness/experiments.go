@@ -47,6 +47,7 @@ var Specs = map[string]*Spec{
 	"tail":     {ID: "tail", Enumerate: tailCells, Render: tailRender},
 	"scale":    {ID: "scale", Enumerate: scaleCells, Render: scaleRender},
 	"openloop": openloopSpec(1000000, 30*sim.Millisecond),
+	"speedup":  {ID: "speedup", Enumerate: speedupCells, Render: speedupRender},
 }
 
 // fig19Spec parameterizes the Figure 19 sweep; the registered experiment
@@ -79,12 +80,13 @@ var Experiments = map[string]func(seed uint64) Result{
 	"fig20cdf": Fig20FullCDF,
 	"scale":    ScaleSharded,
 	"openloop": OpenLoopKnee,
+	"speedup":  SpeedupCurve,
 }
 
 // ExperimentOrder lists experiments in the paper's presentation order.
 var ExperimentOrder = []string{
 	"fig2", "fig15", "fig16", "fig18", "fig19", "fig20", "fig20cdf", "fig21",
-	"fig22", "recovery", "tpcclock", "tail", "scale", "openloop",
+	"fig22", "recovery", "tpcclock", "tail", "scale", "openloop", "speedup",
 }
 
 // Fig2Breakdown reproduces Figure 2 (see fig2Render).
@@ -133,3 +135,6 @@ func ScaleSharded(seed uint64) Result { return RunSpec(Specs["scale"], seed, 1) 
 
 // OpenLoopKnee runs the million-user open-loop sweep (see openloopRender).
 func OpenLoopKnee(seed uint64) Result { return RunSpec(Specs["openloop"], seed, 1) }
+
+// SpeedupCurve runs one scenario at -shards 1/2/4 (see speedup.go).
+func SpeedupCurve(seed uint64) Result { return RunSpec(Specs["speedup"], seed, 1) }

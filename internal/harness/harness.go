@@ -93,6 +93,12 @@ type RunConfig struct {
 	// Arrival shapes the process (Kind, burst/diurnal/flash parameters);
 	// Rate is derived from OfferedLoad and must be left zero.
 	Arrival arrival.Config
+	// ArrivalTrace, when set, replays a recorded arrival-timestamp file
+	// (arrival.ReadTraceFile format) instead of a synthetic process: client
+	// i of n replays the file's timestamps i, i+n, i+2n, … . Selects
+	// open-loop mode by itself; mutually exclusive with OfferedLoad, and
+	// Arrival must stay zero.
+	ArrivalTrace string
 	// MaxInFlight caps concurrently active user actions across all clients
 	// (excess arrivals are shed, not queued); default 1024.
 	MaxInFlight int
@@ -122,7 +128,7 @@ func (c *RunConfig) defaults() {
 	if c.UpdateRatio < 0 {
 		c.UpdateRatio = 1.0
 	}
-	if c.OfferedLoad > 0 {
+	if c.OfferedLoad > 0 || c.ArrivalTrace != "" {
 		if c.Duration <= 0 {
 			c.Duration = 50 * sim.Millisecond
 		}
@@ -264,9 +270,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Trace:            cfg.Trace,
 		Shards:           cfg.Shards,
 		RetryBackoff:     cfg.RetryBackoff,
+		WorkerBudget:     sharedBudget,
 	})
 	prefill()
-	if cfg.OfferedLoad > 0 {
+	if cfg.OfferedLoad > 0 || cfg.ArrivalTrace != "" {
 		// Open-loop mode works on both testbed paths: drivers live on their
 		// client's engine (the global engine classically, the client's
 		// partition engine when sharded) and merge in client-index order.

@@ -55,6 +55,23 @@ func runOpenLoop(cfg *RunConfig, bed *pmnet.Testbed) (*RunResult, error) {
 	if cfg.Arrival.Rate != 0 {
 		return nil, fmt.Errorf("harness: Arrival.Rate is derived from OfferedLoad; leave it zero")
 	}
+	// Trace replay swaps the synthetic per-client processes for strided
+	// views of one recorded file; everything downstream (driver, window,
+	// merge order) is identical.
+	var traceFile *arrival.TraceFile
+	if cfg.ArrivalTrace != "" {
+		if cfg.OfferedLoad > 0 {
+			return nil, fmt.Errorf("harness: OfferedLoad and ArrivalTrace are mutually exclusive")
+		}
+		if cfg.Arrival != (arrival.Config{}) {
+			return nil, fmt.Errorf("harness: Arrival must be zero when replaying a trace")
+		}
+		var err error
+		traceFile, err = arrival.ReadTraceFile(cfg.ArrivalTrace)
+		if err != nil {
+			return nil, fmt.Errorf("harness: arrival trace: %w", err)
+		}
+	}
 	mix, err := buildMix(cfg)
 	if err != nil {
 		return nil, err
@@ -78,9 +95,18 @@ func runOpenLoop(cfg *RunConfig, bed *pmnet.Testbed) (*RunResult, error) {
 	slots := make([]openSlot, cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
 		r := rootRand.Fork()
-		arrCfg := cfg.Arrival
-		arrCfg.Rate = perRate
-		arr := arrival.New(arrCfg, r.Fork())
+		var arr arrival.Source
+		if traceFile != nil {
+			// The fork for the synthetic process still happens (and is
+			// discarded) so trace and synthetic runs consume the root stream
+			// identically — switching arrival inputs must not reseed mixes.
+			r.Fork()
+			arr = traceFile.Client(i, cfg.Clients)
+		} else {
+			arrCfg := cfg.Arrival
+			arrCfg.Rate = perRate
+			arr = arrival.New(arrCfg, r.Fork())
+		}
 		s := &slots[i]
 		s.run = stats.NewRun(cfg.WarmupDur)
 		s.res = stats.NewReservoir(reservoirCap, r.Uint64())

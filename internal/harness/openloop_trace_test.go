@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"testing"
+
+	"pmnet"
+	"pmnet/internal/arrival"
+	"pmnet/internal/sim"
+)
+
+// traceCfg drives the committed testdata/arrival_trace.txt fixture (48
+// arrivals over 2.4 ms, 5-deep burst at 1.0 ms) through the open-loop path.
+func traceCfg(seed uint64) RunConfig {
+	return RunConfig{
+		Design:       pmnet.PMNetSwitch,
+		Workload:     WLTwitter,
+		Clients:      4,
+		Seed:         seed,
+		ArrivalTrace: "testdata/arrival_trace.txt",
+		Duration:     3 * sim.Millisecond,
+		WarmupDur:    500 * sim.Microsecond,
+		Users:        2000,
+		UpdateRatio:  UpdateRatioUnset,
+	}
+}
+
+// TestOpenLoopTraceReplayGolden: replaying the committed fixture produces
+// exactly the recorded arrival count — no sampling noise — and completes
+// every admitted action.
+func TestOpenLoopTraceReplayGolden(t *testing.T) {
+	res, err := Run(traceCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := res.Open
+	if open == nil {
+		t.Fatal("trace replay returned no OpenLoopResult")
+	}
+	// Every recorded arrival precedes Duration, so offered is the exact
+	// fixture line count — the golden property synthetic processes can't give.
+	if open.Offered != 48 {
+		t.Errorf("offered = %d, want exactly the 48 recorded arrivals", open.Offered)
+	}
+	if open.Shed != 0 {
+		t.Errorf("shed %d arrivals far below the admission cap", open.Shed)
+	}
+	if open.Admitted != open.Offered {
+		t.Errorf("admitted %d != offered %d", open.Admitted, open.Offered)
+	}
+	if open.Actions+open.ActionsFailed != open.Admitted {
+		t.Errorf("actions %d + failed %d != admitted %d",
+			open.Actions, open.ActionsFailed, open.Admitted)
+	}
+	if open.MeasuredDone == 0 {
+		t.Error("no measured completions despite post-warmup arrivals")
+	}
+}
+
+// TestOpenLoopTraceReplayDeterminism: same fixture, same seed → identical
+// results down to the reservoir contents.
+func TestOpenLoopTraceReplayDeterminism(t *testing.T) {
+	a, err := Run(traceCfg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(traceCfg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOpenRuns(t, a, b)
+}
+
+// TestOpenLoopTraceReplayShardInvariance: the per-client strided split is a
+// pure function of (file, client index, client count), so the sharded path
+// stays byte-identical across shard counts under replay too.
+func TestOpenLoopTraceReplayShardInvariance(t *testing.T) {
+	cfg1 := traceCfg(13)
+	cfg1.Shards = 1
+	cfg4 := traceCfg(13)
+	cfg4.Shards = 4
+	a, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOpenRuns(t, a, b)
+}
+
+// TestOpenLoopTraceReplayValidation: the trace knob is mutually exclusive
+// with synthetic arrival configuration.
+func TestOpenLoopTraceReplayValidation(t *testing.T) {
+	cfg := traceCfg(17)
+	cfg.OfferedLoad = 100000
+	if _, err := Run(cfg); err == nil {
+		t.Error("OfferedLoad + ArrivalTrace accepted")
+	}
+	cfg = traceCfg(17)
+	cfg.Arrival = arrival.Config{Kind: arrival.MMPP}
+	if _, err := Run(cfg); err == nil {
+		t.Error("Arrival config + ArrivalTrace accepted")
+	}
+	cfg = traceCfg(17)
+	cfg.ArrivalTrace = "testdata/no_such_trace.txt"
+	if _, err := Run(cfg); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

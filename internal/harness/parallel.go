@@ -138,6 +138,11 @@ func runCells(cells []Cell, workers int) []CellResult {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	// Reserve this pool's worker cores (beyond the caller's own) from the
+	// shared budget so sharded cells only borrow genuinely idle cores; an
+	// oversubscribed pool (workers > cores) simply leaves nothing to borrow.
+	reserved := sharedBudget.Acquire(workers - 1)
+	defer sharedBudget.Release(reserved)
 	if workers <= 1 {
 		for i := range cells {
 			out[i] = execCell(cells[i])

@@ -17,8 +17,15 @@ package netsim
 //     classic path does — only the arrival event is handed off.
 //   - The handoff queue is single-producer (the source partition's worker
 //     appends during its epoch) and single-consumer (the destination
-//     partition drains it at the next barrier); the pdes barrier provides
-//     the happens-before edge between the two.
+//     partition drains it at the next epoch); the queue is double-buffered
+//     by epoch parity — during epoch k producers append to side k&1 while
+//     the consumer drains side (k-1)&1 — so the single pdes barrier at the
+//     end of each epoch is the only happens-before edge needed between the
+//     two (DESIGN.md §10.6).
+//   - Each parity side publishes the minimum queued arrival time (reset by
+//     the producer's Begin, maintained on push); Fabric.PendingMin folds
+//     them into the runner's gmin so events sitting undrained in a buffer
+//     can never be skipped past.
 //   - The destination injects queued arrivals ordered by
 //     (arrival time, source partition index, source emission order) — a key
 //     computed from the topology alone, so the injection order cannot
@@ -29,10 +36,16 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"pmnet/internal/sim"
 )
+
+// xnever is the pending-minimum identity: no queued arrival. Its value
+// matches the pdes runner's reduction identity, so PendingMin composes with
+// gmin without translation.
+const xnever = sim.Time(math.MaxInt64)
 
 // xev is one queued cross-partition arrival.
 type xev struct {
@@ -41,19 +54,34 @@ type xev struct {
 	hop NodeID
 }
 
-// xqueue carries arrivals from one source partition to one destination
-// partition (all cross links between the pair share it). buf is appended by
-// the source partition's worker during an epoch and drained — sorted stably
-// by arrival time, preserving source emission order among ties — by the
-// destination at the next barrier.
-type xqueue struct {
-	src, dst int32
-	buf      []xev
-	pos      int // drain cursor into buf
+// xside is one epoch-parity half of a handoff queue: the arrival buffer, the
+// minimum queued arrival time (maintained on push, reset by the producer's
+// Begin before the parity is written again), and the consumer's drain
+// cursor. Padded to a cache line so the producer's writes to one parity
+// never false-share with the consumer's drain of the other.
+type xside struct {
+	buf  []xev
+	qmin sim.Time
+	pos  int // drain cursor into buf
+	_    [24]byte
 }
 
-func (q *xqueue) push(at sim.Time, pkt *Packet, hop NodeID) {
-	q.buf = append(q.buf, xev{at: at, pkt: pkt, hop: hop})
+// xqueue carries arrivals from one source partition to one destination
+// partition (all cross links between the pair share it), double-buffered by
+// epoch parity: during epoch k the source partition's worker appends to
+// sides[k&1] while the destination drains sides[(k-1)&1] — sorted stably by
+// arrival time, preserving source emission order among ties.
+type xqueue struct {
+	src, dst int32
+	sides    [2]xside
+}
+
+func (q *xqueue) push(parity uint32, at sim.Time, pkt *Packet, hop NodeID) {
+	s := &q.sides[parity]
+	s.buf = append(s.buf, xev{at: at, pkt: pkt, hop: hop})
+	if at < s.qmin {
+		s.qmin = at
+	}
 }
 
 // Fabric is the partitioned form of a Network. Build it single-threaded:
@@ -66,6 +94,8 @@ type Fabric struct {
 	topo      map[[2]NodeID]LinkConfig // directed global topology
 	xqs       map[[2]int32]*xqueue     // (src part, dst part) -> queue
 	xin       [][]*xqueue              // per partition: inbound queues, by src order
+	xoutOf    [][]*xqueue              // per partition: outbound queues, by dst order
+	allq      []*xqueue                // every queue, in (dst, src) order
 	lookahead sim.Time
 	frozen    bool
 }
@@ -93,7 +123,13 @@ func NewFabric(engines []*sim.Engine, assign []int, root *sim.Rand) *Fabric {
 		n.fab = f
 		n.pidx = int32(i)
 		n.names = names
-		n.ret = make([][]*Packet, len(assign))
+		n.ret[0] = make([][]*Packet, len(assign))
+		n.ret[1] = make([][]*Packet, len(assign))
+		// The write parity starts at 1: the first epoch's Begin flips to 0
+		// and its drain reads 1, so packets pushed or freed during model
+		// setup (before any epoch) land exactly where the first reduce and
+		// drain look.
+		n.par = 1
 		f.parts = append(f.parts, n)
 	}
 	return f
@@ -153,6 +189,8 @@ func (f *Fabric) connectDirected(a, b NodeID, cfg LinkConfig) {
 	q := f.xqs[qk]
 	if q == nil {
 		q = &xqueue{src: pa, dst: pb}
+		q.sides[0].qmin = xnever
+		q.sides[1].qmin = xnever
 		f.xqs[qk] = q
 	}
 	if src.xout == nil {
@@ -192,11 +230,7 @@ func (f *Fabric) Freeze() {
 		if f.owner[key[0]] == f.owner[key[1]] {
 			continue
 		}
-		cfg := f.topo[key]
-		l := cfg.PropDelay
-		if cfg.Bandwidth > 0 {
-			l += sim.Time(float64(UDPOverhead*8) / cfg.Bandwidth * 1e9)
-		}
+		l := linkLatency(f.topo[key])
 		if f.lookahead == 0 || l < f.lookahead {
 			f.lookahead = l
 		}
@@ -211,6 +245,7 @@ func (f *Fabric) Freeze() {
 	}
 
 	f.xin = make([][]*xqueue, len(f.parts))
+	f.xoutOf = make([][]*xqueue, len(f.parts))
 	qkeys := make([][2]int32, 0, len(f.xqs))
 	for qk := range f.xqs {
 		qkeys = append(qkeys, qk)
@@ -222,7 +257,10 @@ func (f *Fabric) Freeze() {
 		return qkeys[i][0] < qkeys[j][0]
 	})
 	for _, qk := range qkeys {
-		f.xin[qk[1]] = append(f.xin[qk[1]], f.xqs[qk])
+		q := f.xqs[qk]
+		f.xin[qk[1]] = append(f.xin[qk[1]], q)
+		f.xoutOf[qk[0]] = append(f.xoutOf[qk[0]], q)
+		f.allq = append(f.allq, q)
 	}
 }
 
@@ -234,35 +272,86 @@ func (f *Fabric) Lookahead() sim.Time {
 	return f.lookahead
 }
 
-// DrainFunc returns the pdes drain hook for one shard: at every epoch
-// barrier it reclaims returned packets and injects queued cross-partition
-// arrivals for each partition assigned to that shard, in partition order.
-func (f *Fabric) DrainFunc(shard int) func() {
+// BeginFunc returns the pdes Begin hook for one shard: at the start of every
+// epoch it flips each owned partition to the epoch's write parity and resets
+// that parity's pending minimums on the partition's outbound queues. It must
+// run even for shards whose engine run is skipped — a stale minimum would
+// wedge the global window (see pdes.Shard.Begin).
+func (f *Fabric) BeginFunc(shard int) func(parity uint32) {
 	var mine []*Network
 	for p, s := range f.assign {
 		if s == shard {
 			mine = append(mine, f.parts[p])
 		}
 	}
-	return func() {
+	return func(parity uint32) {
 		for _, n := range mine {
-			f.reclaimReturns(n)
-			f.drainInbound(n)
+			n.par = parity
+			for _, q := range f.xoutOf[n.pidx] {
+				q.sides[parity].qmin = xnever
+			}
 		}
 	}
 }
 
+// DrainFunc returns the pdes drain hook for one shard: at every epoch it
+// reclaims returned packets and injects queued cross-partition arrivals at
+// the given (previous-epoch) parity for each partition assigned to that
+// shard, in partition order.
+func (f *Fabric) DrainFunc(shard int) func(parity uint32) {
+	var mine []*Network
+	for p, s := range f.assign {
+		if s == shard {
+			mine = append(mine, f.parts[p])
+		}
+	}
+	return func(parity uint32) {
+		for _, n := range mine {
+			f.reclaimReturns(n, parity)
+			f.drainInbound(n, parity)
+		}
+	}
+}
+
+// PendingMin reports the minimum arrival time queued at the given parity
+// across every handoff queue — the pdes Pending hook, folded into gmin so
+// undrained buffered events bound the epoch window. Safe for every worker to
+// call concurrently: producers only write the opposite parity, and the
+// barrier ordered this parity's last writes before the read.
+func (f *Fabric) PendingMin(parity uint32) sim.Time {
+	min := xnever
+	for _, q := range f.allq {
+		if t := q.sides[parity].qmin; t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Quiesce repatriates every cross-partition free still parked in a return
+// slice, both parities. The pdes runner calls it single-threaded after its
+// workers have joined (SetQuiesce), so the frees of a run's final epoch —
+// which no later epoch will reclaim — still make it home before the caller
+// inspects pools or the next run warms up.
+func (f *Fabric) Quiesce() {
+	for _, n := range f.parts {
+		f.reclaimReturns(n, 0)
+		f.reclaimReturns(n, 1)
+	}
+}
+
 // reclaimReturns pulls back packets that other partitions freed on this
-// partition's behalf since the previous barrier. The pdes barrier orders the
-// producers' appends before this read; producers will not touch the slices
-// again until after the next barrier.
-func (f *Fabric) reclaimReturns(n *Network) {
+// partition's behalf during the previous epoch (the given parity). The pdes
+// barrier orders the producers' appends before this read; producers are now
+// writing the opposite parity and will not touch these slices again until
+// this parity is theirs to write.
+func (f *Fabric) reclaimReturns(n *Network, parity uint32) {
 	me := n.pidx
 	for _, peer := range f.parts {
 		if peer == n {
 			continue
 		}
-		back := peer.ret[me]
+		back := peer.ret[parity][me]
 		if len(back) == 0 {
 			continue
 		}
@@ -270,35 +359,38 @@ func (f *Fabric) reclaimReturns(n *Network) {
 		for i := range back {
 			back[i] = nil
 		}
-		peer.ret[me] = back[:0]
+		peer.ret[parity][me] = back[:0]
 	}
 }
 
-// drainInbound injects every queued cross-partition arrival into n's engine,
-// ordered by (arrival time, source partition index, source emission order).
-// Each queue is sorted stably by time first (a partition's emissions
-// interleave multiple egress links, so the buffer is only near-sorted), then
-// the queues — already in source order from Freeze — are cursor-merged.
-func (f *Fabric) drainInbound(n *Network) {
+// drainInbound injects every cross-partition arrival queued at the given
+// parity into n's engine, ordered by (arrival time, source partition index,
+// source emission order). Each buffer is sorted stably by time first (a
+// partition's emissions interleave multiple egress links, so the buffer is
+// only near-sorted), then the queues — already in source order from Freeze —
+// are cursor-merged. The drained parity's qmin is left stale; its producer
+// resets it at Begin before writing the parity again.
+func (f *Fabric) drainInbound(n *Network, parity uint32) {
 	// Collect the non-empty queues into a per-partition scratch list (kept in
 	// source order because f.xin is), so the merge scans only live queues.
 	live := n.xlive[:0]
 	for _, q := range f.xin[n.pidx] {
-		if len(q.buf) == 0 {
+		if len(q.sides[parity].buf) == 0 {
 			continue
 		}
-		insertionSortByAt(q.buf)
+		insertionSortByAt(q.sides[parity].buf)
 		live = append(live, q)
 	}
 	n.xlive = live
 	for {
-		var best *xqueue
+		var best *xside
 		for _, q := range live {
-			if q.pos >= len(q.buf) {
+			s := &q.sides[parity]
+			if s.pos >= len(s.buf) {
 				continue
 			}
-			if best == nil || q.buf[q.pos].at < best.buf[best.pos].at {
-				best = q
+			if best == nil || s.buf[s.pos].at < best.buf[best.pos].at {
+				best = s
 			}
 		}
 		if best == nil {
@@ -310,8 +402,9 @@ func (f *Fabric) drainInbound(n *Network) {
 		n.eng.At(ev.at, n.getArrival(ev.pkt, ev.hop).fn)
 	}
 	for _, q := range live {
-		q.buf = q.buf[:0]
-		q.pos = 0
+		s := &q.sides[parity]
+		s.buf = s.buf[:0]
+		s.pos = 0
 	}
 }
 

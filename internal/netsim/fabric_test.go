@@ -42,11 +42,13 @@ func newFabricRig() *fabricRig {
 		nb.Transmit(out, 2)
 	})
 	shards := []pdes.Shard{
-		{Eng: rg.engs[0], Drain: rg.fab.DrainFunc(0)},
-		{Eng: rg.engs[1], Drain: rg.fab.DrainFunc(1)},
+		{Eng: rg.engs[0], Begin: rg.fab.BeginFunc(0), Drain: rg.fab.DrainFunc(0)},
+		{Eng: rg.engs[1], Begin: rg.fab.BeginFunc(1), Drain: rg.fab.DrainFunc(1)},
 	}
 	rg.fab.Freeze()
 	rg.runner = pdes.New(shards, rg.fab.Lookahead(), 1)
+	rg.runner.SetPending(rg.fab.PendingMin)
+	rg.runner.SetQuiesce(rg.fab.Quiesce)
 	return rg
 }
 
@@ -109,13 +111,16 @@ func TestFabricPacketRepatriation(t *testing.T) {
 		rg.round()
 	}
 	// After quiescence every packet has been reclaimed somewhere; home pools
-	// must own their packets back (ret slices empty at the fixed point).
+	// must own their packets back (both parities' ret slices empty at the
+	// fixed point).
 	for p := 0; p < 2; p++ {
 		n := rg.fab.Part(p)
-		for peer, back := range n.ret {
-			if len(back) != 0 {
-				t.Fatalf("partition %d still holds %d packets owed to partition %d",
-					p, len(back), peer)
+		for par := range n.ret {
+			for peer, back := range n.ret[par] {
+				if len(back) != 0 {
+					t.Fatalf("partition %d parity %d still holds %d packets owed to partition %d",
+						p, par, len(back), peer)
+				}
 			}
 		}
 	}

@@ -67,14 +67,17 @@ type Network struct {
 
 	// Fabric membership (nil/zero outside sharded testbeds — these fields
 	// are untouched on the classic single-engine path). pidx is this
-	// partition's index; xout routes directed links whose far endpoint lives
-	// in another partition to the cross-partition handoff queue; ret[p]
-	// collects packets freed here whose home pool is partition p, reclaimed
-	// by p at the next epoch barrier.
+	// partition's index; par is the current epoch's write parity (set by
+	// the fabric's Begin hook; starts at 1 so setup-time pushes land where
+	// the first epoch reads); xout routes directed links whose far endpoint
+	// lives in another partition to the cross-partition handoff queue;
+	// ret[par][p] collects packets freed here during the current epoch
+	// whose home pool is partition p, reclaimed by p at the next epoch.
 	fab   *Fabric
 	pidx  int32
+	par   uint32
 	xout  map[[2]NodeID]*xqueue
-	ret   [][]*Packet
+	ret   [2][][]*Packet
 	xlive []*xqueue // drainInbound scratch (non-empty inbound queues)
 
 	// Per-network free lists (single-threaded on the virtual clock, so no
@@ -320,7 +323,7 @@ func (n *Network) FreePacket(p *Packet) {
 	home := p.home
 	*p = Packet{Raw: raw, pool: pkFree, home: home}
 	if n.fab != nil && home != n.pidx {
-		n.ret[home] = append(n.ret[home], p)
+		n.ret[n.par][home] = append(n.ret[n.par][home], p)
 		return
 	}
 	n.pkts = append(n.pkts, p)
@@ -458,12 +461,13 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 	if n.xout != nil {
 		if x := n.xout[[2]NodeID{from, hop}]; x != nil {
 			// The next hop lives in another partition: hand the packet off
-			// through the cross-partition queue instead of scheduling the
-			// arrival locally. The receiving partition injects it at the
-			// next epoch barrier — always ≥ lookahead away, because
-			// arriveAt ≥ now + serialization + PropDelay and the fabric
-			// lookahead is the minimum of that sum over cross links.
-			x.push(arriveAt, pkt, hop)
+			// through the cross-partition queue (current write parity)
+			// instead of scheduling the arrival locally. The receiving
+			// partition injects it at the next epoch — always ≥ lookahead
+			// away, because arriveAt ≥ now + serialization + PropDelay and
+			// the fabric lookahead is the minimum of that sum over cross
+			// links.
+			x.push(n.par, arriveAt, pkt, hop)
 			return
 		}
 	}

@@ -1,0 +1,170 @@
+package netsim
+
+// Unit tests for the topology-aware partition planner: determinism under
+// input reordering, threshold-cut lookahead maximization, co-location
+// groups, and LPT packing under the partition cap.
+
+import (
+	"reflect"
+	"testing"
+
+	"pmnet/internal/sim"
+)
+
+func lat(ns int) LinkConfig { return LinkConfig{PropDelay: sim.Time(ns)} }
+
+// star builds the canonical PMNet shape in miniature: a ToR (id 100) with
+// nclients clients (1..n) on slow links, one server (200) on a slow link,
+// and a device chain (300..300+ndev-1) hanging off the ToR on fast links.
+func star(nclients, ndev int, slow, fast LinkConfig) ([]PlanNode, []PlanLink) {
+	nodes := []PlanNode{{ID: 100, Group: -1}, {ID: 200, Group: -1}}
+	links := []PlanLink{{A: 100, B: 200, Cfg: slow}}
+	for i := 0; i < nclients; i++ {
+		id := NodeID(1 + i)
+		nodes = append(nodes, PlanNode{ID: id, Group: -1})
+		links = append(links, PlanLink{A: id, B: 100, Cfg: slow})
+	}
+	prev := NodeID(100)
+	for i := 0; i < ndev; i++ {
+		id := NodeID(300 + i)
+		nodes = append(nodes, PlanNode{ID: id, Group: -1})
+		links = append(links, PlanLink{A: prev, B: id, Cfg: fast})
+		prev = id
+	}
+	return nodes, links
+}
+
+// TestPlanCutsAtSlowLinks: the device chain's fast links merge into the
+// ToR's partition; the slow client and server links are cut, so the
+// lookahead is the slow-link latency, not the fast one.
+func TestPlanCutsAtSlowLinks(t *testing.T) {
+	nodes, links := star(4, 3, lat(600), lat(100))
+	p := PlanPartitions(nodes, links, PlanOptions{})
+	if p.Lookahead != 600 {
+		t.Fatalf("lookahead %d, want 600 (the slow tier)", p.Lookahead)
+	}
+	for _, dev := range []NodeID{300, 301, 302} {
+		if p.Part[dev] != p.Part[100] {
+			t.Fatalf("device %d in partition %d, ToR in %d: fast chain links must not be cut",
+				dev, p.Part[dev], p.Part[100])
+		}
+	}
+	// 4 clients + server + (ToR+devices) = 6 components.
+	if p.NParts != 6 {
+		t.Fatalf("NParts = %d, want 6", p.NParts)
+	}
+	seen := map[int]bool{}
+	for _, id := range []NodeID{1, 2, 3, 4, 200} {
+		part := p.Part[id]
+		if part == p.Part[100] || seen[part] {
+			t.Fatalf("node %d shares partition %d unexpectedly", id, part)
+		}
+		seen[part] = true
+	}
+}
+
+// TestPlanDeterministicUnderReordering: the plan is a pure function of the
+// topology — shuffling node and link declaration order changes nothing.
+func TestPlanDeterministicUnderReordering(t *testing.T) {
+	nodes, links := star(5, 2, lat(600), lat(150))
+	p1 := PlanPartitions(nodes, links, PlanOptions{MaxParts: 3})
+
+	rn := append([]PlanNode(nil), nodes...)
+	rl := append([]PlanLink(nil), links...)
+	rng := sim.NewRand(42)
+	for i := len(rn) - 1; i > 0; i-- {
+		j := int(rng.Uint64() % uint64(i+1))
+		rn[i], rn[j] = rn[j], rn[i]
+	}
+	for i := len(rl) - 1; i > 0; i-- {
+		j := int(rng.Uint64() % uint64(i+1))
+		rl[i], rl[j] = rl[j], rl[i]
+	}
+	p2 := PlanPartitions(rn, rl, PlanOptions{MaxParts: 3})
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("plan depends on declaration order:\n first: %+v\n shuffled: %+v", p1, p2)
+	}
+}
+
+// TestPlanGroupCohesion: nodes sharing a non-negative group land in one
+// partition even when no link (or only a cut-tier link) joins them.
+func TestPlanGroupCohesion(t *testing.T) {
+	nodes := []PlanNode{
+		{ID: 1, Group: 7}, {ID: 2, Group: 7}, {ID: 3, Group: 7},
+		{ID: 100, Group: -1},
+	}
+	links := []PlanLink{
+		{A: 1, B: 100, Cfg: lat(600)},
+		{A: 2, B: 100, Cfg: lat(600)},
+		{A: 3, B: 100, Cfg: lat(600)},
+	}
+	p := PlanPartitions(nodes, links, PlanOptions{})
+	if p.Part[1] != p.Part[2] || p.Part[2] != p.Part[3] {
+		t.Fatalf("grouped nodes split: %d %d %d", p.Part[1], p.Part[2], p.Part[3])
+	}
+	if p.Part[100] == p.Part[1] {
+		t.Fatal("ungrouped ToR glued to the group without a cheap link")
+	}
+	if p.Lookahead != 600 {
+		t.Fatalf("lookahead %d, want 600", p.Lookahead)
+	}
+}
+
+// TestPlanSingleComponent: when groups (or cheap links) fuse everything, the
+// plan is one partition and the lookahead is 0 (nothing cut) — the caller
+// falls back to single-engine semantics.
+func TestPlanSingleComponent(t *testing.T) {
+	nodes := []PlanNode{{ID: 1, Group: 0}, {ID: 2, Group: 0}}
+	p := PlanPartitions(nodes, []PlanLink{{A: 1, B: 2, Cfg: lat(600)}}, PlanOptions{})
+	if p.NParts != 1 || p.Lookahead != 0 {
+		t.Fatalf("got NParts=%d lookahead=%d, want 1 and 0", p.NParts, p.Lookahead)
+	}
+}
+
+// TestPlanMaxPartsPacking: the 100 Gb/s server uplink serializes faster
+// than the 1 Gb/s client links, so the cheapest tier merges server+ToR into
+// one heavy component; over the cap, LPT packing gives that component a
+// partition no client shares and spreads the clients across the rest.
+func TestPlanMaxPartsPacking(t *testing.T) {
+	heavy := LinkConfig{PropDelay: 600, Bandwidth: 100e9} // server uplink
+	light := LinkConfig{PropDelay: 600, Bandwidth: 1e9}   // client links
+	nodes := []PlanNode{{ID: 100, Group: -1}, {ID: 200, Group: -1}}
+	links := []PlanLink{{A: 100, B: 200, Cfg: heavy}}
+	for i := 0; i < 8; i++ {
+		id := NodeID(1 + i)
+		nodes = append(nodes, PlanNode{ID: id, Group: -1})
+		links = append(links, PlanLink{A: id, B: 100, Cfg: light})
+	}
+	p := PlanPartitions(nodes, links, PlanOptions{MaxParts: 4})
+	if p.NParts != 4 {
+		t.Fatalf("NParts = %d, want 4", p.NParts)
+	}
+	if p.Part[200] != p.Part[100] {
+		t.Fatal("fast low-latency uplink should merge server with ToR")
+	}
+	counts := make([]int, p.NParts)
+	for _, nd := range nodes {
+		part := p.Part[nd.ID]
+		if part < 0 || part >= p.NParts {
+			t.Fatalf("node %d assigned out-of-range partition %d", nd.ID, part)
+		}
+		counts[part]++
+	}
+	// The server+ToR component (bandwidth weight ~220) outweighs all eight
+	// clients (~3 each) combined, so LPT packs no client next to it.
+	hot := p.Part[200]
+	if counts[hot] != 2 {
+		t.Fatalf("heavy component's partition holds %d nodes, want exactly server+ToR", counts[hot])
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Fatalf("partition %d left empty by packing", b)
+		}
+	}
+	// Cut links are the client links; at 1 Gb/s their serialization
+	// dominates the plan lookahead.
+	want := light.PropDelay + sim.Time(float64(UDPOverhead*8)/light.Bandwidth*1e9)
+	if p.Lookahead != want {
+		t.Fatalf("lookahead %d, want %d", p.Lookahead, want)
+	}
+}

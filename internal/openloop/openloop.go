@@ -148,7 +148,7 @@ type Driver struct {
 	sess *client.Session
 	eng  *sim.Engine
 	mix  Mix
-	arr  *arrival.Process
+	arr  arrival.Source
 	rand *sim.Rand
 	run  *stats.Run
 	res  *stats.Reservoir // optional exact-tail spot-check sample
@@ -164,7 +164,7 @@ type Driver struct {
 // New builds a driver. run receives one sample per measured completed action
 // (latency = completion − arrival); res, when non-nil, receives the same
 // samples for exact-tail spot checks.
-func New(cfg Config, sess *client.Session, mix Mix, arr *arrival.Process,
+func New(cfg Config, sess *client.Session, mix Mix, arr arrival.Source,
 	r *sim.Rand, run *stats.Run, res *stats.Reservoir) *Driver {
 	cfg.defaults()
 	if cfg.Users <= 0 {

@@ -1,0 +1,108 @@
+package pdes
+
+// Micro-benchmarks and allocation pins for the epoch machinery: the
+// single-barrier epoch loop must stay allocation-free in steady state (the
+// only allowed allocations are the worker-goroutine spawns at RunUntil
+// entry on the multi-worker path), and BenchmarkEpochOverhead/-Barrier give
+// `make microbench` a tracked number for the per-epoch fixed cost.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pmnet/internal/raceflag"
+	"pmnet/internal/sim"
+)
+
+// benchRig builds a quiet cross-shard rig: every shard self-reschedules one
+// tick per 50 ns — exactly one event per shard per epoch, no logging, no
+// cross traffic — so the measured cost is the runner machinery (reduce,
+// parity flips, drain scans, publish, barrier), not the model.
+func benchRig(shards, workers int) *Runner {
+	tn := newTestNet(shards, 50)
+	for i := range tn.engs {
+		eng := tn.engs[i]
+		var tick func()
+		tick = func() { eng.At(eng.Now()+50, tick) }
+		eng.At(1, tick)
+	}
+	return tn.runner(workers)
+}
+
+// BenchmarkEpochOverhead: one op is one epoch window (4 shards, one event
+// each plus the full begin/drain/publish/barrier cycle).
+func BenchmarkEpochOverhead(b *testing.B) {
+	for _, w := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			r := benchRig(4, w)
+			r.RunUntil(1000) // warm event pools and parity buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			r.RunUntil(1000 + sim.Time(b.N)*50)
+		})
+	}
+}
+
+// BenchmarkBarrier: one op is one full barrier round for all parties.
+func BenchmarkBarrier(b *testing.B) {
+	for _, n := range []int{2, 4} {
+		b.Run(fmt.Sprintf("parties=%d", n), func(b *testing.B) {
+			var bar barrier
+			bar.n = int32(n)
+			bar.reset()
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var sense uint32
+					var ns int64
+					for i := 0; i < b.N; i++ {
+						bar.wait(&sense, &ns)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestEpochAllocs pins the single-worker epoch loop to zero steady-state
+// allocations: ten epochs per run — reduce, parity flips, drains, publishes,
+// idle bookkeeping — must allocate nothing once pools are warm.
+func TestEpochAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	r := benchRig(4, 1)
+	r.RunUntil(1000)
+	deadline := sim.Time(1000)
+	if got := testing.AllocsPerRun(100, func() {
+		deadline += 500 // ten epochs
+		r.RunUntil(deadline)
+	}); got != 0 {
+		t.Errorf("single-worker epoch loop allocated %.1f objects per 10 epochs, want 0", got)
+	}
+}
+
+// TestMultiWorkerEpochAllocs pins the concurrent path: a RunUntil call
+// spanning a thousand epochs may only pay the entry-time goroutine spawns —
+// the epochs themselves (including the rebalance passes the run crosses)
+// must add nothing.
+func TestMultiWorkerEpochAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	r := benchRig(4, 2)
+	r.RunUntil(1000)
+	deadline := sim.Time(1000)
+	got := testing.AllocsPerRun(20, func() {
+		deadline += 50 * 1000 // a thousand epochs per call
+		r.RunUntil(deadline)
+	})
+	if got > 8 {
+		t.Errorf("multi-worker RunUntil allocated %.1f objects per call (1000 epochs); want only the entry-time goroutine spawn", got)
+	}
+}

@@ -7,28 +7,45 @@
 // every interaction that crosses a shard boundary is guaranteed to take at
 // least L nanoseconds of virtual time (the minimum cross-shard link latency,
 // measured at topology-build time). Execution proceeds in barrier-
-// synchronized epochs:
+// synchronized epochs, ONE barrier per epoch:
 //
-//  1. Drain: each shard injects the cross-shard work its peers queued during
-//     the previous epoch, in a deterministic merge order, and reclaims any
-//     resources returned to it.
-//  2. Reduce: every worker reads the per-shard next-event times written
-//     before the barrier and computes the global minimum gmin identically.
-//  3. Run: each shard executes its events in [gmin, gmin+L) independently.
+//  1. Reduce: every worker reads the per-shard next-event times and the
+//     pending cross-shard queue minimum published before the previous
+//     barrier and computes the global minimum gmin identically.
+//  2. Begin/Drain/Run: each shard flips its handoff queues to the epoch's
+//     write parity (Begin), injects the cross-shard work its peers queued
+//     during the previous epoch from the read parity (Drain, deterministic
+//     merge order), then executes its events in [gmin, gmin+L). Shards whose
+//     next event lies beyond the window skip the engine run entirely.
+//  3. Publish: each shard writes its next-event time and cumulative event
+//     count into the epoch's parity slot, then all workers meet at the
+//     barrier.
+//
+// Fusing the classic drain barrier into the run barrier is what the parity
+// double-buffering buys: during epoch k producers append to buffers and
+// min-slots of parity k&1 while consumers read parity (k-1)&1, so no barrier
+// is needed between "publish" and "read" — the single barrier at the end of
+// the epoch is the happens-before edge that hands parity k&1 to epoch k+1.
+// The pending-queue minimum (Pending hook) is load-bearing for correctness:
+// events sitting in handoff buffers are invisible to the engines until
+// drained, so gmin must take them into account or a window could open past
+// an undrained event and violate causality.
 //
 // Because the first event of the epoch fires at ≥ gmin, anything a shard
 // sends during the epoch arrives at ≥ gmin+L — the start of the next epoch —
-// so no shard can receive an event in its own past, and the merge at the
-// next barrier sees every cross-shard event before any of them is runnable.
-// DESIGN.md §10.4 develops the full argument and the byte-identical-output
-// discipline built on top of this runner.
+// so no shard can receive an event in its own past, and the drain at the
+// next epoch sees every cross-shard event before any of them is runnable.
+// DESIGN.md §10.4 and §10.6 develop the full argument and the
+// byte-identical-output discipline built on top of this runner.
 //
 // Determinism: the runner's output order is a pure function of the shard
 // structure, never of the worker count or host scheduling. Workers only
-// multiplex shards (shard s is always driven by worker s mod W, each shard's
-// drain and run steps happen in shard order within a worker and are mutually
-// independent across workers), and the barrier's atomics provide the
-// happens-before edges that make the cross-shard queue handoffs safe.
+// multiplex shards; the shard→worker assignment is rebalanced every
+// rebalanceEvery epochs from published per-shard event counts, but every
+// worker recomputes the identical assignment from identical published data,
+// and which worker drives a shard cannot perturb the order its events run
+// in. The barrier's atomics provide the happens-before edges that make the
+// cross-shard queue handoffs safe.
 package pdes
 
 import (
@@ -37,6 +54,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pmnet/internal/sim"
 )
@@ -44,17 +62,48 @@ import (
 // never is the reduction identity: no pending event.
 const never = sim.Time(math.MaxInt64)
 
-// Shard is one partition of the simulation: an engine owning a disjoint set
-// of entities, plus the drain hook that injects pending cross-shard work.
+// rebalanceEvery is the epoch cadence of the deterministic shard→worker
+// reassignment. Each worker recomputes an LPT assignment from the per-shard
+// event-count deltas published at the previous barrier; 64 epochs amortizes
+// the (tiny) sort while still tracking load shifts quickly.
+const rebalanceEvery = 64
+
+// Shard is one partition group of the simulation: an engine owning a
+// disjoint set of entities, plus the parity hooks that manage its
+// cross-shard handoff queues.
 type Shard struct {
 	// Eng is the shard's event engine. Only the worker driving this shard
 	// touches it between barriers.
 	Eng *sim.Engine
-	// Drain is invoked at every epoch barrier, before the epoch window is
-	// chosen: it must inject every cross-shard event queued for this shard
+	// Begin is invoked at the start of every epoch, before Drain: it must
+	// flip the shard's OUTBOUND handoff queues to the given write parity
+	// (resetting that parity's pending-minimum slots). It runs
+	// unconditionally — even for shards whose engine run is skipped —
+	// because a stale pending minimum would wedge the global window.
+	// May be nil for shards with no cross-shard queues.
+	Begin func(parity uint32)
+	// Drain is invoked after Begin with the opposite (read) parity: it must
+	// inject every cross-shard event queued for this shard at that parity
 	// (in the deterministic merge order the model defines) and reclaim any
 	// pooled resources returned to it. May be nil.
-	Drain func()
+	Drain func(parity uint32)
+}
+
+// PerfStats reports wall-clock-class runner telemetry. These numbers are NOT
+// deterministic across runs (barrier spin time) or across shard counts
+// (idle skips depend on the shard structure), so they belong in perf
+// reporting — never in the byte-compared counter registry.
+type PerfStats struct {
+	// Epochs is the number of executed epoch windows. (This one IS a pure
+	// function of the global event set — shard-count- and worker-count-
+	// invariant — and is safe to mirror into deterministic counters.)
+	Epochs uint64
+	// BarrierNs is the cumulative wall time workers spent spinning at the
+	// epoch barrier (0 on the single-worker path, which has no barrier).
+	BarrierNs int64
+	// IdleSkips counts shard-epochs where the engine run was skipped
+	// because the shard's next event lay beyond the window.
+	IdleSkips uint64
 }
 
 // Runner drives a set of shards in barrier-synchronized epochs.
@@ -62,22 +111,54 @@ type Runner struct {
 	shards    []Shard
 	lookahead sim.Time
 	workers   int
-	mins      []minSlot
-	bar       barrier
+	// pending reports the minimum event time queued in cross-shard handoff
+	// buffers at the given parity (never if none). Models with cross-shard
+	// queues MUST set it (see SetPending); without it gmin would not see
+	// undrained events.
+	pending func(parity uint32) sim.Time
+	// quiesce, if set, runs single-threaded after every RunUntil, once all
+	// workers have joined — the hook for cleanup no later epoch will do
+	// (netsim: repatriating the final epoch's packet frees).
+	quiesce func()
+	mins    []minSlot
+	bar     barrier
+	// epoch counts executed epoch windows across RunUntil calls; its parity
+	// selects the live buffer of every double-buffered structure.
+	epoch     uint64
+	states    []*workerState
+	barrierNs atomic.Int64
 }
 
-// minSlot holds one shard's next-event time, padded to its own cache line so
-// per-epoch writes from different workers never false-share.
+// minSlot holds one shard's published next-event time and cumulative event
+// count, double-buffered by epoch parity (the owner writes parity k&1 at the
+// end of epoch k while peers still read parity (k-1)&1 in their reduce), and
+// padded to its own cache line so per-epoch writes from different workers
+// never false-share.
 type minSlot struct {
-	t sim.Time
-	_ [56]byte
+	t      [2]sim.Time
+	events [2]uint64
+	_      [32]byte
+}
+
+// workerState is one worker's private view of the shard→worker assignment
+// plus rebalancing scratch. Every worker recomputes the identical assignment
+// from the same published data, so private copies stay in agreement without
+// any cross-worker writes.
+type workerState struct {
+	asg        []int32  // shard -> worker
+	lastEvents []uint64 // cumulative events at last rebalance
+	order      []int32  // scratch: shards sorted by delta desc
+	delta      []uint64 // scratch: events since last rebalance
+	load       []uint64 // scratch: per-worker assigned load
+	lastRebal  uint64   // epoch of the last rebalance (guards re-entry)
+	idleSkips  uint64
 }
 
 // New creates a runner over shards with the given lookahead (must be ≥ 1 ns:
 // a zero window could never fire an event and the epoch loop would spin
 // forever). workers bounds the worker pool; values ≤ 0 or beyond the shard
 // count and GOMAXPROCS are clamped. The shard list order is part of the
-// deterministic contract: shard s is always driven by worker s mod W.
+// deterministic contract; the initial assignment is shard s → worker s mod W.
 func New(shards []Shard, lookahead sim.Time, workers int) *Runner {
 	if len(shards) == 0 {
 		panic("pdes: no shards")
@@ -91,12 +172,60 @@ func New(shards []Shard, lookahead sim.Time, workers int) *Runner {
 	if mx := runtime.GOMAXPROCS(0); workers > mx {
 		workers = mx
 	}
-	return &Runner{
+	r := &Runner{
 		shards:    shards,
 		lookahead: lookahead,
-		workers:   workers,
 		mins:      make([]minSlot, len(shards)),
-		bar:       barrier{n: int32(workers)},
+	}
+	r.setWorkers(workers)
+	return r
+}
+
+// SetPending installs the cross-shard pending-minimum hook (netsim:
+// Fabric.PendingMin). Required whenever shards exchange events through
+// handoff queues; must not be called while a run is in progress.
+func (r *Runner) SetPending(f func(parity uint32) sim.Time) { r.pending = f }
+
+// SetQuiesce installs a hook invoked single-threaded at the end of every
+// Run/RunUntil call, after all workers have joined (netsim: Fabric.Quiesce).
+// Must not be called while a run is in progress.
+func (r *Runner) SetQuiesce(f func()) { r.quiesce = f }
+
+// SetWorkers resizes the worker pool between runs (values ≤ 0 or beyond the
+// shard count are clamped to the shard count; unlike New it does NOT clamp
+// to GOMAXPROCS — callers pass budgeted counts, and tests force
+// multi-worker execution on single-CPU machines). Worker count never
+// affects output, only wall clock. Must not be called while a run is in
+// progress.
+func (r *Runner) SetWorkers(n int) {
+	if n <= 0 || n > len(r.shards) {
+		n = len(r.shards)
+	}
+	if n == r.workers {
+		return
+	}
+	r.setWorkers(n)
+}
+
+func (r *Runner) setWorkers(n int) {
+	r.workers = n
+	r.bar.n = int32(n)
+	s := len(r.shards)
+	r.states = make([]*workerState, n)
+	for w := range r.states {
+		st := &workerState{
+			asg:        make([]int32, s),
+			lastEvents: make([]uint64, s),
+			order:      make([]int32, s),
+			delta:      make([]uint64, s),
+			load:       make([]uint64, n),
+			lastRebal:  r.epoch,
+		}
+		for i := 0; i < s; i++ {
+			st.asg[i] = int32(i % n)
+			st.lastEvents[i] = r.shards[i].Eng.EventsRun()
+		}
+		r.states[w] = st
 	}
 }
 
@@ -106,21 +235,39 @@ func (r *Runner) Workers() int { return r.workers }
 // Lookahead returns the epoch window width.
 func (r *Runner) Lookahead() sim.Time { return r.lookahead }
 
-// Run executes epochs until every shard's queue is drained (checked after
-// the drain phase, so in-flight cross-shard events keep the run alive).
+// Perf returns runner telemetry accumulated so far. Not safe to call while
+// a run is in progress.
+func (r *Runner) Perf() PerfStats {
+	p := PerfStats{Epochs: r.epoch, BarrierNs: r.barrierNs.Load()}
+	for _, st := range r.states {
+		p.IdleSkips += st.idleSkips
+	}
+	return p
+}
+
+// Run executes epochs until every shard's queue — engine and handoff — is
+// drained.
 func (r *Runner) Run() { r.RunUntil(never) }
 
 // RunUntil executes epochs until every event with time ≤ deadline has run,
 // then advances every shard clock to deadline (mirroring Engine.RunUntil).
-// Events beyond the deadline stay queued for a later call.
+// Events beyond the deadline stay queued — in engines or in handoff buffers
+// — for a later call.
 //
 // Model callbacks must not call Engine.Stop: the epoch loop would simply
-// resume the engine at the next barrier.
+// resume the engine at the next epoch.
 func (r *Runner) RunUntil(deadline sim.Time) {
 	if r.workers == 1 {
-		r.work(0, deadline, nil)
+		r.epoch = r.work(0, deadline, nil)
+		if r.quiesce != nil {
+			r.quiesce()
+		}
 		return
 	}
+	// Fresh barrier state per call: workers restart their local sense at 0,
+	// so the shared sense must restart too or the first barrier of a call
+	// after an odd-wait call would let spinners fall through early.
+	r.bar.reset()
 	var wg sync.WaitGroup
 	for w := 1; w < r.workers; w++ {
 		wg.Add(1)
@@ -129,46 +276,73 @@ func (r *Runner) RunUntil(deadline sim.Time) {
 			r.work(w, deadline, &r.bar)
 		}(w)
 	}
-	r.work(0, deadline, &r.bar)
+	e := r.work(0, deadline, &r.bar)
 	wg.Wait()
+	r.epoch = e
+	if r.quiesce != nil {
+		r.quiesce()
+	}
 }
 
-// work is one worker's epoch loop. Every worker runs the identical control
-// flow and computes the same gmin from the same mins snapshot, so they all
-// agree on every epoch window and on the exit epoch without any leader.
-// bar is nil in the single-worker fast path (no goroutines, no atomics).
-func (r *Runner) work(w int, deadline sim.Time, bar *barrier) {
+// work is one worker's epoch loop; it returns the epoch counter at exit
+// (identical across workers: every worker computes the same gmin from the
+// same parity snapshot, so they all agree on every window and on the exit
+// epoch without any leader). bar is nil in the single-worker fast path (no
+// goroutines, no atomics, no allocations in steady state).
+func (r *Runner) work(w int, deadline sim.Time, bar *barrier) uint64 {
+	st := r.states[w]
+	epoch := r.epoch
 	var sense uint32
+	var waitNs int64
+	// Prologue: publish fresh next-event times into the parity the first
+	// reduce will read. Callers may have scheduled new engine work since the
+	// last run, and after SetWorkers the slots may never have been written.
+	pp := uint32(epoch+1) & 1
+	for s := range r.shards {
+		if st.asg[s] != int32(w) {
+			continue
+		}
+		r.publish(s, pp)
+	}
+	if bar != nil {
+		bar.wait(&sense, &waitNs)
+	}
 	for {
-		for s := w; s < len(r.shards); s += r.workers {
-			if d := r.shards[s].Drain; d != nil {
-				d()
-			}
-			if t, ok := r.shards[s].Eng.NextTime(); ok {
-				r.mins[s].t = t
-			} else {
-				r.mins[s].t = never
-			}
+		// Rebalance on cadence, from the event counts published at the
+		// previous barrier. Skipped on the single-worker path, and guarded
+		// against re-running when RunUntil re-enters at the same epoch.
+		if bar != nil && epoch > 0 && epoch%rebalanceEvery == 0 && st.lastRebal != epoch {
+			st.lastRebal = epoch
+			st.rebalance(r.mins, uint32(epoch+1)&1)
 		}
-		if bar != nil {
-			bar.wait(&sense)
-		}
+		wp := uint32(epoch) & 1 // this epoch's write parity
+		rp := wp ^ 1            // previous epoch's parity: what we read
 		gmin := never
 		for i := range r.mins {
-			if r.mins[i].t < gmin {
-				gmin = r.mins[i].t
+			if t := r.mins[i].t[rp]; t < gmin {
+				gmin = t
+			}
+		}
+		if r.pending != nil {
+			if p := r.pending(rp); p < gmin {
+				gmin = p
 			}
 		}
 		if gmin == never || gmin > deadline {
 			// Globally drained (below the deadline). Advance this worker's
 			// shard clocks to the deadline so every engine agrees on Now,
-			// exactly as Engine.RunUntil leaves a drained engine.
+			// exactly as Engine.RunUntil leaves a drained engine. Handoff
+			// buffers may still hold events — all ≥ gmin > deadline, by the
+			// pending-minimum bound — and they stay queued for a later call.
 			if deadline < never {
-				for s := w; s < len(r.shards); s += r.workers {
+				for s := range r.shards {
+					if st.asg[s] != int32(w) {
+						continue
+					}
 					r.shards[s].Eng.RunUntil(deadline)
 				}
 			}
-			return
+			break
 		}
 		// The epoch window is [gmin, gmin+L): every event in it is safe to
 		// run because nothing sent during the epoch can arrive before
@@ -177,12 +351,89 @@ func (r *Runner) work(w int, deadline sim.Time, bar *barrier) {
 		if runTo > deadline {
 			runTo = deadline
 		}
-		for s := w; s < len(r.shards); s += r.workers {
-			r.shards[s].Eng.RunUntil(runTo)
+		for s := range r.shards {
+			if st.asg[s] != int32(w) {
+				continue
+			}
+			sh := &r.shards[s]
+			if sh.Begin != nil {
+				sh.Begin(wp)
+			}
+			if sh.Drain != nil {
+				sh.Drain(rp)
+			}
+			// Idle-shard fast path: if the shard's next event (after the
+			// drain) lies beyond the window, skip the engine run. Its clock
+			// lags, but Now only matters as a max across shards, and the
+			// bounded exit path advances every clock to the deadline.
+			if t, ok := sh.Eng.NextTime(); ok && t <= runTo {
+				sh.Eng.RunUntil(runTo)
+			} else {
+				st.idleSkips++
+			}
+			r.publish(s, wp)
 		}
+		epoch++
 		if bar != nil {
-			bar.wait(&sense)
+			bar.wait(&sense, &waitNs)
 		}
+	}
+	if bar != nil && waitNs > 0 {
+		r.barrierNs.Add(waitNs)
+	}
+	return epoch
+}
+
+// publish writes shard s's next-event time and cumulative event count into
+// the given parity slot. Only the worker driving s calls it.
+func (r *Runner) publish(s int, parity uint32) {
+	m := &r.mins[s]
+	if t, ok := r.shards[s].Eng.NextTime(); ok {
+		m.t[parity] = t
+	} else {
+		m.t[parity] = never
+	}
+	m.events[parity] = r.shards[s].Eng.EventsRun()
+}
+
+// rebalance recomputes this worker's private shard→worker assignment by LPT
+// (longest processing time first) over the event-count deltas since the last
+// rebalance. Insertion sort + linear argmin: zero allocations, and fully
+// deterministic (delta desc, shard index asc on ties; lowest worker index on
+// load ties), so every worker lands on the identical assignment.
+func (st *workerState) rebalance(mins []minSlot, parity uint32) {
+	s := len(st.asg)
+	w := len(st.load)
+	for i := 0; i < s; i++ {
+		ev := mins[i].events[parity]
+		st.delta[i] = ev - st.lastEvents[i]
+		st.lastEvents[i] = ev
+		st.order[i] = int32(i)
+	}
+	for i := 1; i < s; i++ {
+		o := st.order[i]
+		d := st.delta[o]
+		j := i - 1
+		for j >= 0 && st.delta[st.order[j]] < d {
+			st.order[j+1] = st.order[j]
+			j--
+		}
+		st.order[j+1] = o
+	}
+	for i := range st.load {
+		st.load[i] = 0
+	}
+	for _, sh := range st.order {
+		best := 0
+		for i := 1; i < w; i++ {
+			if st.load[i] < st.load[best] {
+				best = i
+			}
+		}
+		st.asg[sh] = int32(best)
+		// +1 so zero-delta shards still spread instead of piling onto
+		// worker 0 between bursts.
+		st.load[best] += st.delta[sh] + 1
 	}
 }
 
@@ -211,16 +462,27 @@ func (r *Runner) EventsRun() uint64 {
 // barrier is a sense-reversing spin barrier. Epochs are sub-microsecond, so
 // the wait is a spin with Gosched rather than a futex sleep; the atomics
 // double as the happens-before edges that publish each worker's plain writes
-// (mins slots, cross-shard queue slices) to every other worker: each
+// (minSlot parities, cross-shard queue parities) to every other worker: each
 // arrival's Add is observed by the last arrival, whose sense Store is
 // observed by every spinner's Load.
 type barrier struct {
-	n     int32 // party count, fixed at construction
+	n     int32 // party count; written only between runs (SetWorkers)
 	count atomic.Int32
 	sense atomic.Uint32
 }
 
-func (b *barrier) wait(sense *uint32) {
+// reset restores the initial state so a new run's workers (whose local
+// senses restart at 0) agree with the shared sense. Called single-threaded
+// at the top of RunUntil.
+func (b *barrier) reset() {
+	b.count.Store(0)
+	b.sense.Store(0)
+}
+
+// wait blocks until all n parties arrive, accumulating spin time into
+// spinNs. The last arrival pays no timing overhead, and a spinner that finds
+// the sense already flipped pays none either.
+func (b *barrier) wait(sense *uint32, spinNs *int64) {
 	s := *sense ^ 1
 	*sense = s
 	if b.count.Add(1) == b.n {
@@ -228,7 +490,14 @@ func (b *barrier) wait(sense *uint32) {
 		b.sense.Store(s)
 		return
 	}
+	if b.sense.Load() == s {
+		return
+	}
+	//pmnetlint:ignore wallclock barrier spin time is perf telemetry only, never simulated
+	start := time.Now()
 	for b.sense.Load() != s {
 		runtime.Gosched()
 	}
+	//pmnetlint:ignore wallclock barrier spin time is perf telemetry only, never simulated
+	*spinNs += time.Since(start).Nanoseconds()
 }

@@ -97,6 +97,26 @@ type Config struct {
 	// fallback depends only on the Config, so it cannot break shard-count
 	// invariance.
 	Shards int
+
+	// WorkerBudget, when non-nil, is consulted on every Run/RunFor of a
+	// sharded testbed: the run asks for extra worker tokens beyond its first
+	// (non-blocking), drives the epoch loop with 1+granted workers, and
+	// returns the tokens when the segment completes. internal/harness
+	// installs its process-wide core budget here so parallel experiment
+	// cells and shard worker pools share one machine without
+	// oversubscribing it. Worker count never affects results — only wall
+	// clock (DESIGN.md §10.6).
+	WorkerBudget WorkerBudget
+}
+
+// WorkerBudget hands out extra worker tokens from a shared pool. Acquire
+// must not block: a sharded run can always proceed on the one worker it
+// implicitly owns.
+type WorkerBudget interface {
+	// Acquire returns up to want tokens (possibly 0) without blocking.
+	Acquire(want int) int
+	// Release returns n previously acquired tokens.
+	Release(n int)
 }
 
 // applyDefaults completes cfg with the paper-calibrated defaults shared by
@@ -322,8 +342,7 @@ func (tb *Testbed) Session(i int) *client.Session { return tb.Sessions[i] }
 // Run drives the virtual clock until no events remain.
 func (tb *Testbed) Run() {
 	if tb.runner != nil {
-		tb.runner.Run()
-		tb.foldTrace()
+		tb.runSharded(func() { tb.runner.Run() })
 		return
 	}
 	tb.Engine.Run()
@@ -332,11 +351,26 @@ func (tb *Testbed) Run() {
 // RunFor advances the virtual clock by d.
 func (tb *Testbed) RunFor(d Time) {
 	if tb.runner != nil {
-		tb.runner.RunUntil(tb.runner.Now() + d)
-		tb.foldTrace()
+		tb.runSharded(func() { tb.runner.RunUntil(tb.runner.Now() + d) })
 		return
 	}
 	tb.Engine.RunUntil(tb.Engine.Now() + d)
+}
+
+// runSharded drives one sharded run segment under the worker budget: the
+// segment always owns one worker; extra workers are borrowed for its
+// duration when the budget has them to spare. Without a budget the runner
+// keeps the worker pool New sized to the shard count.
+func (tb *Testbed) runSharded(segment func()) {
+	if b := tb.cfg.WorkerBudget; b != nil {
+		got := b.Acquire(len(tb.engines) - 1)
+		tb.runner.SetWorkers(1 + got)
+		segment()
+		b.Release(got)
+	} else {
+		segment()
+	}
+	tb.foldTrace()
 }
 
 // Now returns the current virtual time.
@@ -349,6 +383,16 @@ func (tb *Testbed) Now() Time {
 
 // Sharded reports whether the testbed runs on the conservative-PDES path.
 func (tb *Testbed) Sharded() bool { return tb.runner != nil }
+
+// RunnerPerf returns the epoch runner's wall-clock-class telemetry (zero on
+// the classic path). Epochs is deterministic; BarrierNs and IdleSkips are
+// not, and must never feed the byte-compared counter registry.
+func (tb *Testbed) RunnerPerf() pdes.PerfStats {
+	if tb.runner == nil {
+		return pdes.PerfStats{}
+	}
+	return tb.runner.Perf()
+}
 
 // Shards returns the shard (engine) count — 1 for a single-engine testbed.
 func (tb *Testbed) Shards() int {
@@ -429,6 +473,18 @@ func (tb *Testbed) Counters() *trace.Registry {
 		// (the shard count itself is not, and lives in the perf block).
 		parts := uint64(tb.fab.Parts())
 		reg.Add("sim.partitions", func() uint64 { return parts })
+		// Epoch count and mean events per epoch are pure functions of the
+		// global event set and the partition structure — invariant across
+		// shard AND worker counts — so they are registry-safe. Barrier wait
+		// time and idle skips are not (wall clock / shard structure) and stay
+		// in RunnerPerf.
+		reg.Add("sim.epochs", func() uint64 { return tb.runner.Perf().Epochs })
+		reg.Add("sim.events_per_epoch", func() uint64 {
+			if e := tb.runner.Perf().Epochs; e > 0 {
+				return tb.runner.EventsRun() / e
+			}
+			return 0
+		})
 	}
 
 	sessions := tb.Sessions

@@ -12,66 +12,75 @@ import (
 	"pmnet/internal/trace"
 )
 
-// maxClientGroups bounds the number of client partitions. Clients are
-// independent of each other (they only meet at the ToR), so they could each
-// be a partition — but every partition costs a drain scan and a heap peek per
+// maxPartitions caps the planner's partition count. Clients are independent
+// of each other (they only meet at the ToR), so they could each be a
+// partition — but every partition costs a drain scan and a heap peek per
 // epoch, and epochs are ~sub-microsecond, so hundreds of partitions would
-// drown the win. Eight groups keeps per-epoch bookkeeping flat while still
-// feeding more shards than the testbed ever usefully runs.
-const maxClientGroups = 8
+// drown the win. Twelve keeps per-epoch bookkeeping flat while still feeding
+// more shards than the testbed ever usefully runs.
+const maxPartitions = 12
 
-// planPartitions computes the topology partition plan for a sharded testbed.
+// serverColoGroup / torColoGroup are the planner co-location groups: all
+// server hosts must share one partition (a plain cfg.Handler is one shared
+// instance across the rack, so servers must stay on one engine), and under
+// PinWithToR the PMNet devices are pinned into the ToR's partition.
+const (
+	serverColoGroup = 0
+	torColoGroup    = 1
+)
+
+// planTopology describes the cluster abstractly — the same node ids and link
+// configs newShardedTestbed builds below — and hands it to the topology-aware
+// planner (netsim.PlanPartitions), which cuts the graph at its
+// highest-latency tier (so the lookahead is as wide as possible: device-chain
+// patch links and NIC bump-in-the-wire hops merge, full-latency edge links
+// are cut) and packs the components into ≤ maxPartitions partitions balanced
+// by link bandwidth.
+//
 // The plan is a pure function of the Config — it must never depend on
 // cfg.Shards, or `-shards 1` and `-shards N` would produce different event
 // interleavings (DESIGN.md §10.4 rests on this).
-//
-// Layout:
-//
-//   - Partition 0 is the core: the ToR switch, plus the PMNet devices when
-//     cfg.Device.Pin is PinWithToR.
-//   - The device chain gets its own partition under PinChain (the default):
-//     the chain's 200 ns patch links stay internal, so they never constrain
-//     the lookahead.
-//   - All servers share one partition (a plain cfg.Handler is one shared
-//     instance across the rack, so servers must stay on one engine). Under
-//     PMNetNIC the 100 ns bump-in-the-wire link would collapse the lookahead,
-//     so the servers are glued into the device partition instead.
-//   - Clients are split into min(Clients, maxClientGroups) groups, client i
-//     in group i%groups; their only neighbor is the ToR over a full-latency
-//     link, which is what the lookahead ends up being.
-type partitionPlan struct {
-	nparts     int
-	corePart   int // ToR (and PinWithToR devices)
-	devPart    int // where dataplane devices are built
-	serverPart int // where server hosts are built
-	groups     int // client group count
-	clientBase int // first client partition; client i -> clientBase + i%groups
-}
+func planTopology(cfg *Config, link netsim.LinkConfig) netsim.Plan {
+	var nodes []netsim.PlanNode
+	var links []netsim.PlanLink
 
-func planPartitions(cfg *Config) partitionPlan {
-	p := partitionPlan{corePart: 0, nparts: 1}
-	chainPart := -1
-	if cfg.Design != ClientServer && cfg.Device.Pin == dataplane.PinChain {
-		chainPart = p.nparts
-		p.nparts++
+	torGroup := -1
+	if cfg.Design != ClientServer && cfg.Device.Pin == dataplane.PinWithToR {
+		torGroup = torColoGroup
 	}
-	p.devPart = p.corePart
-	if chainPart >= 0 {
-		p.devPart = chainPart
+	nodes = append(nodes, netsim.PlanNode{ID: torID, Group: torGroup})
+	for i := 0; i < cfg.Servers; i++ {
+		nodes = append(nodes, netsim.PlanNode{ID: serverID + netsim.NodeID(i), Group: serverColoGroup})
 	}
-	if cfg.Design == PMNetNIC {
-		p.serverPart = p.devPart
+	for i := 0; i < cfg.Clients; i++ {
+		nodes = append(nodes, netsim.PlanNode{ID: netsim.NodeID(i + 1), Group: -1})
+		links = append(links, netsim.PlanLink{A: netsim.NodeID(i + 1), B: torID, Cfg: link})
+	}
+	if cfg.Design != ClientServer {
+		prev := torID
+		for i := 0; i < cfg.Replication; i++ {
+			id := devBase + netsim.NodeID(i)
+			nodes = append(nodes, netsim.PlanNode{ID: id, Group: torGroup})
+			l := link
+			if i > 0 {
+				l.PropDelay = 200 * sim.Nanosecond
+			}
+			links = append(links, netsim.PlanLink{A: prev, B: id, Cfg: l})
+			prev = id
+		}
+		last := link
+		if cfg.Design == PMNetNIC {
+			last.PropDelay = 100 * sim.Nanosecond
+		}
+		for i := 0; i < cfg.Servers; i++ {
+			links = append(links, netsim.PlanLink{A: prev, B: serverID + netsim.NodeID(i), Cfg: last})
+		}
 	} else {
-		p.serverPart = p.nparts
-		p.nparts++
+		for i := 0; i < cfg.Servers; i++ {
+			links = append(links, netsim.PlanLink{A: torID, B: serverID + netsim.NodeID(i), Cfg: link})
+		}
 	}
-	p.groups = cfg.Clients
-	if p.groups > maxClientGroups {
-		p.groups = maxClientGroups
-	}
-	p.clientBase = p.nparts
-	p.nparts += p.groups
-	return p
+	return netsim.PlanPartitions(nodes, links, netsim.PlanOptions{MaxParts: maxPartitions})
 }
 
 // newShardedTestbed builds the same cluster as NewTestbed's single-engine
@@ -80,16 +89,16 @@ func planPartitions(cfg *Config) partitionPlan {
 // builder; only the Network each layer lands on differs. cfg already has
 // defaults applied and CrossTrafficGbps == 0 (NewTestbed guarantees both).
 func newShardedTestbed(cfg Config, link netsim.LinkConfig) *Testbed {
-	plan := planPartitions(&cfg)
+	plan := planTopology(&cfg, link)
 	shards := cfg.Shards
-	if shards > plan.nparts {
-		shards = plan.nparts // extra engines would sit empty at every epoch
+	if shards > plan.NParts {
+		shards = plan.NParts // extra engines would sit empty at every epoch
 	}
 	engines := make([]*sim.Engine, shards)
 	for i := range engines {
 		engines[i] = sim.NewEngine()
 	}
-	assign := make([]int, plan.nparts)
+	assign := make([]int, plan.NParts)
 	for i := range assign {
 		assign[i] = i % shards
 	}
@@ -110,11 +119,11 @@ func newShardedTestbed(cfg Config, link netsim.LinkConfig) *Testbed {
 	// a partition's drop behavior is shard-count-invariant. Set before any
 	// layer is built: layers cache their network's tracer at construction.
 	if cfg.Trace != nil {
-		partCap := cfg.Trace.Capacity() / plan.nparts
+		partCap := cfg.Trace.Capacity() / plan.NParts
 		if partCap < 1 {
 			partCap = 1
 		}
-		tb.partTracers = make([]*trace.Tracer, plan.nparts)
+		tb.partTracers = make([]*trace.Tracer, plan.NParts)
 		for i := range tb.partTracers {
 			t := trace.NewTracer(partCap)
 			t.Bind(engines[assign[i]])
@@ -133,17 +142,18 @@ func newShardedTestbed(cfg Config, link netsim.LinkConfig) *Testbed {
 	// Server hosts (a rack behind the same ToR / device chain).
 	serverHosts := make([]*netsim.Host, cfg.Servers)
 	for i := range serverHosts {
-		serverHosts[i] = netsim.NewHost(fab.Part(plan.serverPart), serverID+netsim.NodeID(i),
+		id := serverID + netsim.NodeID(i)
+		serverHosts[i] = netsim.NewHost(fab.Part(plan.Part[id]), id,
 			fmt.Sprintf("server-%d", i), serverStack, cfg.ServerWorkers, root.Fork())
 	}
 
 	// Plain ToR switch merging client traffic (§VI-A1).
-	tb.ToR = netsim.NewSwitch(fab.Part(plan.corePart), torID, "tor", netsim.DefaultSwitchLatency)
+	tb.ToR = netsim.NewSwitch(fab.Part(plan.Part[torID]), torID, "tor", netsim.DefaultSwitchLatency)
 
 	// Client hosts behind the ToR.
 	for i := 0; i < cfg.Clients; i++ {
-		part := plan.clientBase + i%plan.groups
-		h := netsim.NewHost(fab.Part(part), netsim.NodeID(i+1), fmt.Sprintf("client-%d", i),
+		id := netsim.NodeID(i + 1)
+		h := netsim.NewHost(fab.Part(plan.Part[id]), id, fmt.Sprintf("client-%d", i),
 			clientStack, 1, root.Fork())
 		tb.Clients = append(tb.Clients, h)
 		fab.Connect(h.ID(), torID, link)
@@ -161,7 +171,7 @@ func newShardedTestbed(cfg Config, link netsim.LinkConfig) *Testbed {
 				dc.CacheEntries = cfg.CacheEntries
 			}
 			id := devBase + netsim.NodeID(i)
-			d := dataplane.New(fab.Part(plan.devPart), id, fmt.Sprintf("pmnet-%d", i), dc)
+			d := dataplane.New(fab.Part(plan.Part[id]), id, fmt.Sprintf("pmnet-%d", i), dc)
 			tb.Devices = append(tb.Devices, d)
 			devIDs = append(devIDs, id)
 		}
@@ -222,8 +232,14 @@ func newShardedTestbed(cfg Config, link netsim.LinkConfig) *Testbed {
 	fab.Freeze()
 	runnerShards := make([]pdes.Shard, shards)
 	for s := range runnerShards {
-		runnerShards[s] = pdes.Shard{Eng: engines[s], Drain: fab.DrainFunc(s)}
+		runnerShards[s] = pdes.Shard{
+			Eng:   engines[s],
+			Begin: fab.BeginFunc(s),
+			Drain: fab.DrainFunc(s),
+		}
 	}
 	tb.runner = pdes.New(runnerShards, fab.Lookahead(), shards)
+	tb.runner.SetPending(fab.PendingMin)
+	tb.runner.SetQuiesce(fab.Quiesce)
 	return tb
 }

@@ -1,0 +1,213 @@
+package pmnet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pmnet/internal/dataplane"
+	"pmnet/internal/netsim"
+	"pmnet/internal/sim"
+)
+
+// grantAll is a WorkerBudget that always grants the full request — it forces
+// the runner onto the multi-worker path regardless of GOMAXPROCS, so the
+// identity tests below exercise real barrier concurrency even on 1-CPU CI.
+type grantAll struct{ granted int }
+
+func (g *grantAll) Acquire(want int) int { g.granted += want; return want }
+func (g *grantAll) Release(n int)        {}
+
+// runShardedUpdates drives n synchronous updates on every session of a
+// sharded testbed and returns per-session latency slices plus the run's
+// observables.
+func runShardedUpdates(t *testing.T, cfg Config, n int) (lats [][]Time, events uint64, now Time) {
+	t.Helper()
+	tb := NewTestbed(cfg)
+	if !tb.Sharded() {
+		t.Fatalf("config did not take the sharded path: %+v", cfg)
+	}
+	lats = make([][]Time, cfg.Clients)
+	val := make([]byte, 100)
+	for i := range lats {
+		i := i
+		var issue func(k int)
+		issue = func(k int) {
+			if k >= n {
+				return
+			}
+			key := []byte(fmt.Sprintf("key-%d-%d", i, k))
+			tb.Session(i).SendUpdate(PutReq(key, val), func(r Result) {
+				if r.Err == nil {
+					lats[i] = append(lats[i], r.Latency)
+				}
+				issue(k + 1)
+			})
+		}
+		issue(0)
+	}
+	tb.Run()
+	return lats, tb.EventsRun(), tb.Now()
+}
+
+// TestShardedForcedMultiWorker: granting the runner a full worker complement
+// must not change a single observable versus the default 1-worker budget-less
+// run. This is the §10.4 determinism contract at the worker axis (the shard
+// axis is covered by the harness's TestShardedByteIdentical), and it runs the
+// multi-worker barrier path even when GOMAXPROCS would normally clamp the
+// runner to one worker.
+func TestShardedForcedMultiWorker(t *testing.T) {
+	for _, shards := range []int{2, 4, 7} {
+		base := Config{Design: PMNetSwitch, Clients: 8, Replication: 2, Seed: 9, Shards: shards}
+		forced := base
+		g := &grantAll{}
+		forced.WorkerBudget = g
+
+		wantLats, wantEvents, wantNow := runShardedUpdates(t, base, 20)
+		gotLats, gotEvents, gotNow := runShardedUpdates(t, forced, 20)
+
+		if g.granted == 0 {
+			t.Fatalf("shards=%d: forced budget was never consulted", shards)
+		}
+		if !reflect.DeepEqual(gotLats, wantLats) {
+			t.Errorf("shards=%d: latencies diverge under forced workers", shards)
+		}
+		if gotEvents != wantEvents {
+			t.Errorf("shards=%d: events %d != %d", shards, gotEvents, wantEvents)
+		}
+		if gotNow != wantNow {
+			t.Errorf("shards=%d: virtual end %d != %d", shards, gotNow, wantNow)
+		}
+	}
+}
+
+// TestPlanTopologyShardInvariant: the partition plan must be a pure function
+// of the cluster config — never of cfg.Shards — or `-shards 1` and
+// `-shards N` would see different event interleavings.
+func TestPlanTopologyShardInvariant(t *testing.T) {
+	cfg := Config{Design: PMNetSwitch, Clients: 8, Replication: 3, Seed: 1}
+	link := cfg.applyDefaults()
+	want := planTopology(&cfg, link)
+	for _, sh := range []int{1, 4, 12} {
+		c := cfg
+		c.Shards = sh
+		if got := planTopology(&c, link); !reflect.DeepEqual(got, want) {
+			t.Fatalf("plan changed with Shards=%d", sh)
+		}
+	}
+}
+
+// TestPlanTopologyStructure checks the planner's cuts on the real testbed
+// topologies: low-latency chain patches and NIC hops merge, full-latency
+// edge links are cut (maximizing lookahead), servers co-locate, and
+// PinWithToR glues devices to the ToR.
+func TestPlanTopologyStructure(t *testing.T) {
+	// DefaultLink edge latency: 600 ns propagation + 46-byte UDP overhead
+	// serialized at 10 Gb/s.
+	link := netsim.DefaultLink()
+	edgeLat := link.PropDelay + sim.Time(float64(netsim.UDPOverhead*8)/link.Bandwidth*1e9)
+
+	t.Run("switch-chain", func(t *testing.T) {
+		cfg := Config{Design: PMNetSwitch, Clients: 6, Replication: 3}
+		link := cfg.applyDefaults()
+		p := planTopology(&cfg, link)
+		if p.Lookahead != edgeLat {
+			t.Errorf("lookahead %d, want edge-link latency %d", p.Lookahead, edgeLat)
+		}
+		// The 200 ns chain patches merge the devices into one partition,
+		// separate from the ToR (PinChain default).
+		d0 := p.Part[devBase]
+		for i := 1; i < 3; i++ {
+			if p.Part[devBase+netsim.NodeID(i)] != d0 {
+				t.Errorf("device %d split from chain partition", i)
+			}
+		}
+		if p.Part[torID] == d0 {
+			t.Error("ToR merged into the device chain under PinChain")
+		}
+		if p.NParts > maxPartitions {
+			t.Errorf("%d partitions exceed the %d cap", p.NParts, maxPartitions)
+		}
+	})
+
+	t.Run("nic", func(t *testing.T) {
+		cfg := Config{Design: PMNetNIC, Clients: 4}
+		link := cfg.applyDefaults()
+		p := planTopology(&cfg, link)
+		// The 100 ns bump-in-the-wire hop merges the NIC device with the
+		// server; the client edge links are the cut.
+		if p.Part[devBase] != p.Part[serverID] {
+			t.Error("NIC device split from its server")
+		}
+		if p.Lookahead != edgeLat {
+			t.Errorf("lookahead %d, want edge-link latency %d", p.Lookahead, edgeLat)
+		}
+	})
+
+	t.Run("pin-with-tor", func(t *testing.T) {
+		cfg := Config{Design: PMNetSwitch, Clients: 4, Replication: 2}
+		cfg.Device.Pin = dataplane.PinWithToR
+		link := cfg.applyDefaults()
+		p := planTopology(&cfg, link)
+		for i := 0; i < 2; i++ {
+			if p.Part[devBase+netsim.NodeID(i)] != p.Part[torID] {
+				t.Errorf("device %d not co-located with ToR under PinWithToR", i)
+			}
+		}
+	})
+
+	t.Run("multi-server", func(t *testing.T) {
+		cfg := Config{Design: PMNetSwitch, Clients: 4, Servers: 3}
+		link := cfg.applyDefaults()
+		p := planTopology(&cfg, link)
+		s0 := p.Part[serverID]
+		for i := 1; i < 3; i++ {
+			if p.Part[serverID+netsim.NodeID(i)] != s0 {
+				t.Errorf("server %d split from the rack partition", i)
+			}
+		}
+	})
+}
+
+// TestShardedPartitionCounters: the registry exposes the plan's partition
+// count, and epochs/events-per-epoch are populated after a run.
+func TestShardedPartitionCounters(t *testing.T) {
+	cfg := Config{Design: PMNetSwitch, Clients: 6, Seed: 3, Shards: 4}
+	tb := NewTestbed(cfg)
+	runShardedUpdatesOn(t, tb, 10)
+	counters := map[string]uint64{}
+	for _, s := range tb.Counters().Snapshot() {
+		counters[s.Name] = s.Value
+	}
+	if counters["sim.partitions"] == 0 {
+		t.Error("sim.partitions not exported")
+	}
+	if counters["sim.epochs"] == 0 {
+		t.Error("sim.epochs zero after a sharded run")
+	}
+	if counters["sim.events_per_epoch"] == 0 {
+		t.Error("sim.events_per_epoch zero after a sharded run")
+	}
+	if perf := tb.RunnerPerf(); perf.Epochs != counters["sim.epochs"] {
+		t.Errorf("RunnerPerf epochs %d != counter %d", perf.Epochs, counters["sim.epochs"])
+	}
+}
+
+// runShardedUpdatesOn drives updates on an already-built testbed.
+func runShardedUpdatesOn(t *testing.T, tb *Testbed, n int) {
+	t.Helper()
+	val := make([]byte, 100)
+	for i := range tb.Sessions {
+		i := i
+		var issue func(k int)
+		issue = func(k int) {
+			if k >= n {
+				return
+			}
+			key := []byte(fmt.Sprintf("key-%d-%d", i, k))
+			tb.Session(i).SendUpdate(PutReq(key, val), func(r Result) { issue(k + 1) })
+		}
+		issue(0)
+	}
+	tb.Run()
+}
