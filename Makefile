@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build test race vet lint lint-sarif ci bench bench-json microbench trace-smoke \
-	shard-smoke openloop-smoke speedup-smoke bench-baseline bench-regression benchdiff
+	shard-smoke openloop-smoke speedup-smoke impairments-smoke bench-baseline \
+	bench-regression benchdiff
 
 all: build test
 
@@ -28,7 +29,8 @@ lint-sarif:
 	$(GO) run ./cmd/pmnetlint -format sarif ./... > lint.sarif
 
 # Everything CI runs, in the same order.
-ci: build test race vet lint trace-smoke shard-smoke openloop-smoke speedup-smoke
+ci: build test race vet lint trace-smoke shard-smoke openloop-smoke speedup-smoke \
+	impairments-smoke
 
 # Trace determinism smoke: the pinned scenario's chrome://tracing bytes must
 # match the golden (same bytes TestTraceGoldenSmoke pins), and 8 concurrent
@@ -96,6 +98,24 @@ speedup-smoke:
 	$(GO) run ./cmd/pmnetbench -run speedup -seed 1 -parallel 1 -json > /tmp/pmnet_speedup.json
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json /tmp/pmnet_speedup.json
 	@echo "speedup-smoke: shards 1/2/4 byte-identical observables; events/sec gated"
+
+# Impairment-matrix smoke: the scenario × system scorecard must be
+# byte-identical on the classic and sharded engines (every impairment draw
+# comes from a per-link RNG stream owned by the sending partition), must keep
+# its verdict spread — at least one "pmnet" win and the ack-starve "degrades"
+# row, the cell the experiment exists to show — and its events/sec is
+# benchdiff-gated against the committed baseline.
+impairments-smoke:
+	$(GO) run ./cmd/pmnetbench -run impairments -seed 1 -parallel 1 -shards 1 > /tmp/pmnet_impair1.txt
+	$(GO) run ./cmd/pmnetbench -run impairments -seed 1 -parallel 1 -shards 4 > /tmp/pmnet_impair4.txt
+	diff -q /tmp/pmnet_impair1.txt /tmp/pmnet_impair4.txt
+	@grep -q 'pmnet *$$' /tmp/pmnet_impair1.txt || \
+		{ echo "impairments-smoke: no winning scenario in matrix:"; cat /tmp/pmnet_impair1.txt; exit 1; }
+	@grep -q 'degrades *$$' /tmp/pmnet_impair1.txt || \
+		{ echo "impairments-smoke: no degrading scenario in matrix:"; cat /tmp/pmnet_impair1.txt; exit 1; }
+	$(GO) run ./cmd/pmnetbench -run impairments -seed 1 -parallel 1 -json > /tmp/pmnet_impair.json
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json /tmp/pmnet_impair.json
+	@echo "impairments-smoke: shards 1 vs 4 byte-identical; verdict spread held; events/sec gated"
 
 # Regenerate the committed wall-clock baseline (run on a quiet machine, then
 # commit the file so `make bench-regression` and CI have a reference point).

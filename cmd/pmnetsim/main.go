@@ -40,6 +40,7 @@ import (
 	"pmnet"
 	"pmnet/internal/arrival"
 	"pmnet/internal/harness"
+	"pmnet/internal/netsim"
 	"pmnet/internal/prof"
 	"pmnet/internal/sim"
 	"pmnet/internal/trace"
@@ -62,6 +63,23 @@ func main() {
 	arrivalKind := flag.String("arrival", "poisson", "open-loop arrival process: poisson | mmpp | diurnal | flash")
 	arrivalTrace := flag.String("arrival-trace", "", "replay recorded open-loop arrivals from this file (one ns timestamp per line; excludes -offered-load)")
 	backoff := flag.Bool("backoff", false, "capped exponential client retransmission backoff")
+	topo := flag.String("topo", "star", "client fabric: star | leaf-spine | fat-tree")
+	leaves := flag.Int("leaves", 0, "leaf-spine leaf count (0 = default 2)")
+	spines := flag.Int("spines", 0, "leaf-spine spine count (0 = default 2)")
+	oversub := flag.Float64("oversub", 0, "leaf-spine oversubscription ratio (0 = full bisection)")
+	fatTreeK := flag.Int("fattree-k", 0, "fat-tree arity (even; 0 = default 4)")
+	impLoss := flag.Float64("impair-loss", 0, "access-link loss probability in the good state [0,1]")
+	impBurstLoss := flag.Float64("impair-burst-loss", 0, "loss probability in the Gilbert-Elliott bad state [0,1]")
+	impBurstOn := flag.Float64("impair-burst-on", 0, "P(good->bad) per packet [0,1]")
+	impBurstOff := flag.Float64("impair-burst-off", 0, "P(bad->good) per packet [0,1]")
+	impJitter := flag.Float64("impair-jitter-us", 0, "lognormal access-link jitter median (us)")
+	impJitterSigma := flag.Float64("impair-jitter-sigma", 0, "jitter lognormal shape")
+	impReorder := flag.Float64("impair-reorder", 0, "reordering probability [0,1)")
+	impReorderWin := flag.Float64("impair-reorder-window-us", 0, "reorder hold-back window (us)")
+	impDup := flag.Float64("impair-dup", 0, "duplication probability [0,1)")
+	impRate := flag.Float64("impair-rate-gbps", 0, "token-bucket access-link rate cap (Gbps, 0 = off)")
+	impBurstKB := flag.Int("impair-burst-kb", 0, "token-bucket burst (KB, 0 = 64)")
+	impAckOnly := flag.Bool("impair-ack-only", false, "impair only the edge->client (ACK) direction")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	traceFile := flag.String("trace", "", "write a chrome://tracing JSON of the run to this file")
 	par := flag.Int("parallel", 1, "run N identical copies concurrently and byte-compare their traces")
@@ -102,6 +120,29 @@ func main() {
 		Seed:             *seed,
 		Shards:           *shards,
 		RetryBackoff:     *backoff,
+		Topology:         *topo,
+		Leaves:           *leaves,
+		Spines:           *spines,
+		Oversub:          *oversub,
+		FatTreeK:         *fatTreeK,
+		ImpairAckPath:    *impAckOnly,
+		Impair: netsim.Impairments{
+			GoodLoss:      *impLoss,
+			BadLoss:       *impBurstLoss,
+			GoodToBad:     *impBurstOn,
+			BadToGood:     *impBurstOff,
+			JitterMedian:  sim.Time(*impJitter * float64(sim.Microsecond)),
+			JitterSigma:   *impJitterSigma,
+			ReorderProb:   *impReorder,
+			ReorderWindow: sim.Time(*impReorderWin * float64(sim.Microsecond)),
+			DupProb:       *impDup,
+			RateBps:       *impRate * 1e9,
+			BurstBytes:    *impBurstKB << 10,
+		},
+	}
+	if err := cfg.Impair.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pmnetsim: %v\n", err)
+		os.Exit(2)
 	}
 	if *offered > 0 && *arrivalTrace != "" {
 		fmt.Fprintln(os.Stderr, "pmnetsim: -offered-load and -arrival-trace are mutually exclusive")
@@ -243,8 +284,9 @@ func main() {
 	fmt.Printf("server        applied=%d reads=%d dup=%d retrans=%d reordered=%d\n",
 		srv.UpdatesApplied, srv.ReadsServed, srv.Duplicates, srv.RetransSent, srv.Reordered)
 	net := res.Bed.NetworkStats()
-	fmt.Printf("network       delivered=%d drops(full/rand/dead)=%d/%d/%d\n",
-		net.Delivered, net.DroppedFull, net.DroppedRand, net.DroppedDead)
+	fmt.Printf("network       delivered=%d drops(full/rand/dead/burst)=%d/%d/%d/%d dup=%d\n",
+		net.Delivered, net.DroppedFull, net.DroppedRand, net.DroppedDead,
+		net.DroppedBurst, net.Duplicated)
 	if res.Bed.Sharded() {
 		fmt.Printf("sharding      %d shards\n", res.Bed.Shards())
 	}

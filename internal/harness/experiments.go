@@ -33,21 +33,22 @@ func (r Result) Text() string {
 // Specs maps experiment IDs to their cell-enumeration + rendering split
 // (cheap defaults; the benchmarks run scaled-down instances separately).
 var Specs = map[string]*Spec{
-	"fig2":     {ID: "fig2", Enumerate: fig2Cells, Render: fig2Render},
-	"fig15":    {ID: "fig15", Enumerate: fig15Cells, Render: fig15Render},
-	"fig16":    {ID: "fig16", Enumerate: fig16Cells, Render: fig16Render},
-	"fig18":    {ID: "fig18", Enumerate: fig18Cells, Render: fig18Render},
-	"fig19":    fig19Spec(16, 150),
-	"fig20":    {ID: "fig20", Enumerate: fig20Cells, Render: fig20Render},
-	"fig20cdf": {ID: "fig20cdf", Enumerate: fig20cdfCells, Render: fig20cdfRender},
-	"fig21":    {ID: "fig21", Enumerate: fig21Cells, Render: fig21Render},
-	"fig22":    {ID: "fig22", Enumerate: fig22Cells, Render: fig22Render},
-	"recovery": {ID: "recovery", Enumerate: recoveryCells, Render: recoveryRender},
-	"tpcclock": {ID: "tpcclock", Enumerate: tpcclockCells, Render: tpcclockRender},
-	"tail":     {ID: "tail", Enumerate: tailCells, Render: tailRender},
-	"scale":    {ID: "scale", Enumerate: scaleCells, Render: scaleRender},
-	"openloop": openloopSpec(1000000, 30*sim.Millisecond),
-	"speedup":  {ID: "speedup", Enumerate: speedupCells, Render: speedupRender},
+	"fig2":        {ID: "fig2", Enumerate: fig2Cells, Render: fig2Render},
+	"fig15":       {ID: "fig15", Enumerate: fig15Cells, Render: fig15Render},
+	"fig16":       {ID: "fig16", Enumerate: fig16Cells, Render: fig16Render},
+	"fig18":       {ID: "fig18", Enumerate: fig18Cells, Render: fig18Render},
+	"fig19":       fig19Spec(16, 150),
+	"fig20":       {ID: "fig20", Enumerate: fig20Cells, Render: fig20Render},
+	"fig20cdf":    {ID: "fig20cdf", Enumerate: fig20cdfCells, Render: fig20cdfRender},
+	"fig21":       {ID: "fig21", Enumerate: fig21Cells, Render: fig21Render},
+	"fig22":       {ID: "fig22", Enumerate: fig22Cells, Render: fig22Render},
+	"recovery":    {ID: "recovery", Enumerate: recoveryCells, Render: recoveryRender},
+	"tpcclock":    {ID: "tpcclock", Enumerate: tpcclockCells, Render: tpcclockRender},
+	"tail":        {ID: "tail", Enumerate: tailCells, Render: tailRender},
+	"scale":       {ID: "scale", Enumerate: scaleCells, Render: scaleRender},
+	"openloop":    openloopSpec(1000000, 30*sim.Millisecond),
+	"speedup":     {ID: "speedup", Enumerate: speedupCells, Render: speedupRender},
+	"impairments": impairmentsSpec(8, 120),
 }
 
 // fig19Spec parameterizes the Figure 19 sweep; the registered experiment
@@ -66,27 +67,29 @@ func fig19Spec(clients, requests int) *Spec {
 // the sequential per-figure API; RunExperiments executes batches on a worker
 // pool.
 var Experiments = map[string]func(seed uint64) Result{
-	"fig2":     Fig2Breakdown,
-	"fig15":    Fig15PayloadSweep,
-	"fig16":    Fig16StressTest,
-	"fig18":    Fig18AltDesigns,
-	"fig19":    Fig19Throughput,
-	"fig20":    Fig20CacheCDF,
-	"fig21":    Fig21Replication,
-	"fig22":    Fig22OptStack,
-	"recovery": RecoveryExperiment,
-	"tpcclock": TPCCLockStats,
-	"tail":     TailContention,
-	"fig20cdf": Fig20FullCDF,
-	"scale":    ScaleSharded,
-	"openloop": OpenLoopKnee,
-	"speedup":  SpeedupCurve,
+	"fig2":        Fig2Breakdown,
+	"fig15":       Fig15PayloadSweep,
+	"fig16":       Fig16StressTest,
+	"fig18":       Fig18AltDesigns,
+	"fig19":       Fig19Throughput,
+	"fig20":       Fig20CacheCDF,
+	"fig21":       Fig21Replication,
+	"fig22":       Fig22OptStack,
+	"recovery":    RecoveryExperiment,
+	"tpcclock":    TPCCLockStats,
+	"tail":        TailContention,
+	"fig20cdf":    Fig20FullCDF,
+	"scale":       ScaleSharded,
+	"openloop":    OpenLoopKnee,
+	"speedup":     SpeedupCurve,
+	"impairments": ImpairmentMatrix,
 }
 
 // ExperimentOrder lists experiments in the paper's presentation order.
 var ExperimentOrder = []string{
 	"fig2", "fig15", "fig16", "fig18", "fig19", "fig20", "fig20cdf", "fig21",
 	"fig22", "recovery", "tpcclock", "tail", "scale", "openloop", "speedup",
+	"impairments",
 }
 
 // Fig2Breakdown reproduces Figure 2 (see fig2Render).

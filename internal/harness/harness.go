@@ -13,6 +13,7 @@ import (
 	"pmnet/internal/apps"
 	"pmnet/internal/arrival"
 	"pmnet/internal/kv"
+	"pmnet/internal/netsim"
 	"pmnet/internal/openloop"
 	"pmnet/internal/rediskv"
 	"pmnet/internal/sim"
@@ -107,6 +108,38 @@ type RunConfig struct {
 	// experiment so past-knee behavior measures queueing, not a fixed-period
 	// retransmission storm.
 	RetryBackoff bool
+
+	// Topology selects the switch fabric between the clients and the server
+	// rack: "" or "star" (default), "leaf-spine", "fat-tree". Leaves/Spines/
+	// Oversub parameterize leaf-spine; FatTreeK the fat-tree arity.
+	Topology string
+	Leaves   int
+	Spines   int
+	Oversub  float64
+	FatTreeK int
+
+	// Impair applies deterministic link impairments to the client access
+	// links (pmnet.Config.Impair); ImpairAckPath restricts them to the
+	// ACK-carrying edge→client direction.
+	Impair        netsim.Impairments
+	ImpairAckPath bool
+
+	// Timeout overrides the client retransmission timeout (default 1 ms) —
+	// impairment scenarios shrink it so loss-recovery fits the run window.
+	Timeout sim.Time
+}
+
+// parseTopology maps the RunConfig topology string to the testbed enum.
+func parseTopology(s string) (pmnet.TopologyKind, error) {
+	switch s {
+	case "", "star":
+		return pmnet.StarTopology, nil
+	case "leaf-spine":
+		return pmnet.LeafSpineTopology, nil
+	case "fat-tree":
+		return pmnet.FatTreeTopology, nil
+	}
+	return 0, fmt.Errorf("harness: unknown topology %q (star, leaf-spine, fat-tree)", s)
 }
 
 func (c *RunConfig) defaults() {
@@ -258,6 +291,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	topo, err := parseTopology(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
 	bed := pmnet.NewTestbed(pmnet.Config{
 		Design:           cfg.Design,
 		Clients:          cfg.Clients,
@@ -270,6 +307,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Trace:            cfg.Trace,
 		Shards:           cfg.Shards,
 		RetryBackoff:     cfg.RetryBackoff,
+		Timeout:          cfg.Timeout,
+		Topology:         topo,
+		Leaves:           cfg.Leaves,
+		Spines:           cfg.Spines,
+		Oversub:          cfg.Oversub,
+		FatTreeK:         cfg.FatTreeK,
+		Impair:           cfg.Impair,
+		ImpairAckPath:    cfg.ImpairAckPath,
 		WorkerBudget:     sharedBudget,
 	})
 	prefill()

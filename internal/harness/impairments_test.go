@@ -1,0 +1,68 @@
+package harness
+
+import "testing"
+
+// renderImpairments runs a scaled-down impairment matrix with every Cfg cell
+// forced to the given shard count (0 = classic single-engine path) on a pool
+// of the given size, and returns the rendered text.
+func renderImpairments(t *testing.T, seed uint64, shards, workers int) string {
+	t.Helper()
+	spec := impairmentsSpec(4, 40)
+	cells := spec.Enumerate(seed)
+	if shards > 0 {
+		for i := range cells {
+			if cells[i].Cfg != nil {
+				cells[i].Cfg.Shards = shards
+			}
+		}
+	}
+	results := runCells(cells, workers)
+	for _, c := range results {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+	}
+	return spec.Render(seed, results).Text()
+}
+
+// The scorecard must be byte-identical across shard counts (PDES determinism:
+// impairment draws come from per-link RNG streams owned by the sending
+// partition) and across worker-pool sizes (cells are independent).
+func TestImpairmentsByteIdentity(t *testing.T) {
+	want := renderImpairments(t, 11, 1, 1)
+	for _, tc := range []struct{ shards, workers int }{
+		{1, 8}, {2, 1}, {4, 1}, {4, 8},
+	} {
+		got := renderImpairments(t, 11, tc.shards, tc.workers)
+		if got != want {
+			t.Errorf("shards=%d workers=%d diverged:\n--- shards=1 workers=1\n%s\n--- got\n%s",
+				tc.shards, tc.workers, want, got)
+		}
+	}
+}
+
+// The matrix must include at least one scenario in each verdict class — the
+// experiment exists to show where early-ACK stops winning, not only that it
+// wins.
+func TestImpairmentsVerdictSpread(t *testing.T) {
+	res := RunSpec(impairmentsSpec(4, 40), 11, 4)
+	wins, degrades := 0, 0
+	for _, sc := range impairScenarios {
+		s := res.Metrics["speedup_"+sc.key]
+		if s == 0 {
+			t.Fatalf("scenario %s missing speedup metric", sc.key)
+		}
+		switch impairVerdict(s) {
+		case "pmnet":
+			wins++
+		case "degrades":
+			degrades++
+		}
+	}
+	if wins == 0 || degrades == 0 {
+		t.Fatalf("verdict spread wins=%d degrades=%d; matrix must show both", wins, degrades)
+	}
+	if res.Metrics["speedup_clean"] < 1.5 {
+		t.Fatalf("clean speedup %.2f, want the paper's early-ACK win", res.Metrics["speedup_clean"])
+	}
+}

@@ -97,6 +97,7 @@ type Fabric struct {
 	xoutOf    [][]*xqueue              // per partition: outbound queues, by dst order
 	allq      []*xqueue                // every queue, in (dst, src) order
 	lookahead sim.Time
+	ecmp      bool
 	frozen    bool
 }
 
@@ -162,11 +163,27 @@ func (f *Fabric) addOwner(id NodeID, part int32, name string) {
 // through a handoff queue when the endpoints live in different partitions).
 // Both nodes must already be added.
 func (f *Fabric) Connect(a, b NodeID, cfg LinkConfig) {
+	f.ConnectAsym(a, b, cfg, cfg)
+}
+
+// ConnectAsym is Connect with direction-specific configs: ab governs a→b,
+// ba governs b→a — the fabric form of Network.ConnectAsym.
+func (f *Fabric) ConnectAsym(a, b NodeID, ab, ba LinkConfig) {
 	if f.frozen {
 		panic("netsim: fabric is frozen; topology is immutable")
 	}
-	f.connectDirected(a, b, cfg)
-	f.connectDirected(b, a, cfg)
+	f.connectDirected(a, b, ab)
+	f.connectDirected(b, a, ba)
+}
+
+// SetECMP enables flow-hashed equal-cost multipath forwarding fabric-wide.
+// Call before Freeze; the multi-route table is built there and shared
+// read-only by every partition, exactly like the single-path table.
+func (f *Fabric) SetECMP(on bool) {
+	if f.frozen {
+		panic("netsim: fabric is frozen; topology is immutable")
+	}
+	f.ecmp = on
 }
 
 func (f *Fabric) connectDirected(a, b NodeID, cfg LinkConfig) {
@@ -181,7 +198,10 @@ func (f *Fabric) connectDirected(a, b NodeID, cfg LinkConfig) {
 	key := [2]NodeID{a, b}
 	f.topo[key] = cfg
 	src := f.parts[pa]
-	src.links[key] = &link{cfg: cfg, from: a, to: b}
+	// The directed link — including any impairment RNG fork — lives in the
+	// SOURCE partition, so its draw stream is a function of that partition's
+	// build order alone, never of the shard count.
+	src.links[key] = src.newLink(a, b, cfg)
 	if pa == pb {
 		return
 	}
@@ -218,8 +238,14 @@ func (f *Fabric) Freeze() {
 		nodes = append(nodes, id)
 	}
 	routes := buildRouteTable(linkKeys, nodes)
+	var multi map[NodeID]map[NodeID][]NodeID
+	if f.ecmp {
+		multi = buildMultiRouteTable(linkKeys, nodes)
+	}
 	for _, n := range f.parts {
 		n.routes = routes
+		n.ecmp = f.ecmp
+		n.multi = multi
 	}
 
 	// Lookahead: every cross-partition arrival is scheduled at
@@ -430,6 +456,8 @@ func (f *Fabric) Stats() Stats {
 		s.DroppedFull += n.stats.DroppedFull
 		s.DroppedRand += n.stats.DroppedRand
 		s.DroppedDead += n.stats.DroppedDead
+		s.DroppedBurst += n.stats.DroppedBurst
+		s.Duplicated += n.stats.Duplicated
 	}
 	return s
 }

@@ -1,0 +1,207 @@
+package netsim
+
+// Deterministic link impairment models — the netem knob set (loss, jitter,
+// reordering, duplication, rate throttling) as pure functions of the link's
+// own forked RNG stream. Each impaired directed link owns a linkImpair with
+// its own sim.Rand, forked from the owning Network's stream at link-creation
+// time: the draw sequence is a function of the topology build order alone,
+// never of traffic on other links, which is what keeps `-shards`/`-parallel`
+// byte-identity intact (a cross-partition link's state, including its RNG,
+// lives in the SOURCE partition — see fabric.go). Links with a zero
+// Impairments never fork an RNG, so pre-existing configurations consume
+// exactly the streams the committed goldens pin.
+
+import (
+	"fmt"
+
+	"pmnet/internal/sim"
+)
+
+// Impairments configures the per-link impairment models. The zero value
+// disables them all (and skips the per-link RNG fork entirely). All fields
+// are scalars so LinkConfig stays comparable.
+type Impairments struct {
+	// Gilbert–Elliott two-state burst loss: the link flips between a good
+	// and a bad state with the given per-packet transition probabilities and
+	// drops packets at the state's loss rate. GoodToBad == BadToGood == 0
+	// pins the chain in the good state (plain Bernoulli loss at GoodLoss).
+	// Expected burst length is 1/BadToGood packets.
+	GoodLoss  float64 // loss probability in the good state, [0,1]
+	BadLoss   float64 // loss probability in the bad state, [0,1] (1 = blackout)
+	GoodToBad float64 // P(good → bad) per packet, [0,1]
+	BadToGood float64 // P(bad → good) per packet, [0,1]
+
+	// Lognormal delay jitter added to every delivery, reusing the StackModel
+	// machinery: median JitterMedian with shape JitterSigma (sigma 0 = a
+	// constant JitterMedian shift).
+	JitterMedian sim.Time
+	JitterSigma  float64
+
+	// Bounded reordering: each packet is independently held back by a
+	// uniform extra delay in (0, ReorderWindow] with probability
+	// ReorderProb, letting later-sent packets overtake it.
+	ReorderProb   float64
+	ReorderWindow sim.Time
+
+	// DupProb duplicates a packet (a deep, independently-routed copy) with
+	// this probability, in [0,1).
+	DupProb float64
+
+	// Token-bucket rate throttling: serialization start is gated so the
+	// link's long-run rate cannot exceed RateBps, with BurstBytes of credit
+	// (default 64 KB when RateBps > 0).
+	RateBps    float64
+	BurstBytes int
+}
+
+// Enabled reports whether any impairment is configured.
+func (im Impairments) Enabled() bool { return im != Impairments{} }
+
+// Validate rejects out-of-range impairment parameters.
+func (im Impairments) Validate() error {
+	check01 := func(name string, v float64, openTop bool) error {
+		if v < 0 || v > 1 || (openTop && v == 1) {
+			top := "1]"
+			if openTop {
+				top = "1)"
+			}
+			return fmt.Errorf("netsim: impairment %s = %v outside [0,%s", name, v, top)
+		}
+		return nil
+	}
+	if err := check01("GoodLoss", im.GoodLoss, false); err != nil {
+		return err
+	}
+	if err := check01("BadLoss", im.BadLoss, false); err != nil {
+		return err
+	}
+	if err := check01("GoodToBad", im.GoodToBad, false); err != nil {
+		return err
+	}
+	if err := check01("BadToGood", im.BadToGood, false); err != nil {
+		return err
+	}
+	if err := check01("ReorderProb", im.ReorderProb, true); err != nil {
+		return err
+	}
+	if err := check01("DupProb", im.DupProb, true); err != nil {
+		return err
+	}
+	if im.ReorderProb > 0 && im.ReorderWindow <= 0 {
+		return fmt.Errorf("netsim: ReorderProb %v needs a positive ReorderWindow", im.ReorderProb)
+	}
+	if im.ReorderWindow < 0 {
+		return fmt.Errorf("netsim: ReorderWindow %v is negative", im.ReorderWindow)
+	}
+	if im.JitterMedian < 0 {
+		return fmt.Errorf("netsim: JitterMedian %v is negative", im.JitterMedian)
+	}
+	if im.JitterSigma < 0 {
+		return fmt.Errorf("netsim: JitterSigma %v is negative", im.JitterSigma)
+	}
+	if im.RateBps < 0 {
+		return fmt.Errorf("netsim: RateBps %v is negative", im.RateBps)
+	}
+	if im.BurstBytes < 0 {
+		return fmt.Errorf("netsim: BurstBytes %v is negative", im.BurstBytes)
+	}
+	return nil
+}
+
+// defaultBurstBytes is the token-bucket credit used when RateBps is set
+// without an explicit BurstBytes.
+const defaultBurstBytes = 64 << 10
+
+// linkImpair is the runtime state of one impaired directed link.
+type linkImpair struct {
+	cfg    Impairments
+	rng    *sim.Rand
+	jit    StackModel // jitter sampler (Base 0)
+	bad    bool       // Gilbert–Elliott state
+	tokens float64    // token-bucket credit in bytes (negative = deficit)
+	tbAt   sim.Time   // last refill reference time
+	burst  float64    // bucket capacity in bytes
+}
+
+func newLinkImpair(cfg Impairments, rng *sim.Rand) *linkImpair {
+	li := &linkImpair{
+		cfg: cfg,
+		rng: rng,
+		jit: StackModel{JitterMedian: cfg.JitterMedian, JitterSigma: cfg.JitterSigma},
+	}
+	li.burst = float64(cfg.BurstBytes)
+	if cfg.RateBps > 0 && li.burst <= 0 {
+		li.burst = defaultBurstBytes
+	}
+	li.tokens = li.burst
+	return li
+}
+
+// lose advances the Gilbert–Elliott chain one packet and reports whether the
+// packet is lost in the resulting state. Degenerate probabilities (0 or 1)
+// skip their draw — the stream is per-link, so the draw count may depend on
+// the chain's own trajectory without breaking determinism.
+func (li *linkImpair) lose() bool {
+	c := &li.cfg
+	if c.GoodToBad > 0 || c.BadToGood > 0 {
+		u := li.rng.Float64()
+		if li.bad {
+			if u < c.BadToGood {
+				li.bad = false
+			}
+		} else if u < c.GoodToBad {
+			li.bad = true
+		}
+	}
+	p := c.GoodLoss
+	if li.bad {
+		p = c.BadLoss
+	}
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return li.rng.Float64() < p
+}
+
+// duplicate reports whether this packet spawns a duplicate.
+func (li *linkImpair) duplicate() bool {
+	return li.cfg.DupProb > 0 && li.rng.Float64() < li.cfg.DupProb
+}
+
+// shapeStart returns the earliest time a size-byte packet may begin
+// serialization at or after now under the token bucket. Credit refills
+// continuously at RateBps up to the burst; a deficit converts to delay at
+// the same rate (the bucket goes negative and is repaid by future refill).
+func (li *linkImpair) shapeStart(now sim.Time, size int) sim.Time {
+	rate := li.cfg.RateBps / 8e9 // bytes per virtual nanosecond
+	if now > li.tbAt {
+		li.tokens += float64(now-li.tbAt) * rate
+		if li.tokens > li.burst {
+			li.tokens = li.burst
+		}
+	}
+	li.tbAt = now
+	li.tokens -= float64(size)
+	if li.tokens >= 0 {
+		return now
+	}
+	return now + sim.Time(-li.tokens/rate) + 1
+}
+
+// extraDelay samples the per-delivery delay additions: lognormal jitter plus,
+// on a reorder hit, a uniform hold-back in (0, ReorderWindow]. Strictly
+// non-negative, so it can only push an arrival later than the propagation
+// bound — the fabric lookahead (Freeze) stays conservative.
+func (li *linkImpair) extraDelay() sim.Time {
+	var d sim.Time
+	if li.cfg.JitterMedian > 0 {
+		d += li.jit.Sample(li.rng)
+	}
+	if li.cfg.ReorderProb > 0 && li.rng.Float64() < li.cfg.ReorderProb {
+		d += sim.Time(li.rng.Float64()*float64(li.cfg.ReorderWindow)) + 1
+	}
+	return d
+}

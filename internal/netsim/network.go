@@ -14,6 +14,22 @@ type LinkConfig struct {
 	Bandwidth  float64  // bits per second; 0 means infinite (no serialization)
 	QueueBytes int      // egress queue capacity; 0 means unbounded
 	LossRate   float64  // random drop probability in [0,1)
+
+	// Impair layers the deterministic netem-style impairment models
+	// (Gilbert–Elliott burst loss, jitter, reordering, duplication, rate
+	// throttling — see impair.go) onto this direction. The zero value is
+	// free: no per-link RNG is forked and Transmit takes its historical path.
+	Impair Impairments
+}
+
+// Validate rejects out-of-range link parameters. Connect panics on a config
+// that fails it, so a silently black-holed link (LossRate ≥ 1 consumed a
+// draw per packet and dropped everything) is a loud build-time error now.
+func (cfg LinkConfig) Validate() error {
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return fmt.Errorf("netsim: LossRate %v outside [0,1)", cfg.LossRate)
+	}
+	return cfg.Impair.Validate()
 }
 
 // DefaultLink returns the testbed's 10 GbE link model: ~0.6 µs propagation
@@ -32,16 +48,19 @@ type link struct {
 	from, to NodeID   // endpoints, for the queue-depth gauge
 	busyAt   sim.Time // when the transmitter frees up
 	queued   int      // bytes awaiting/under serialization
-	dropped  uint64
+	dropped  uint64   // drop-tail losses only (LinkDrops)
 	sent     uint64
+	imp      *linkImpair // nil unless cfg.Impair is set
 }
 
 // Stats aggregates network-wide counters.
 type Stats struct {
-	Delivered   uint64
-	DroppedFull uint64 // drop-tail queue overflow
-	DroppedRand uint64 // random loss
-	DroppedDead uint64 // destination or next hop unreachable/failed
+	Delivered    uint64
+	DroppedFull  uint64 // drop-tail queue overflow
+	DroppedRand  uint64 // random loss
+	DroppedDead  uint64 // destination or next hop unreachable/failed
+	DroppedBurst uint64 // impairment-model (Gilbert–Elliott) loss
+	Duplicated   uint64 // impairment-model duplications
 }
 
 // Network owns the topology, routing and packet delivery.
@@ -59,9 +78,11 @@ type Network struct {
 	nodes  map[NodeID]Node
 	names  map[NodeID]string
 	links  map[[2]NodeID]*link
-	routes map[NodeID]map[NodeID]NodeID // routes[at][dst] = next hop
-	down   map[NodeID]bool              // failed nodes drop all traffic
-	idSeq  uint64                       // packet-id counter (partition-tagged inside a fabric)
+	routes map[NodeID]map[NodeID]NodeID   // routes[at][dst] = next hop
+	ecmp   bool                           // flow-hash over equal-cost paths
+	multi  map[NodeID]map[NodeID][]NodeID // ECMP: all equal-cost next hops
+	down   map[NodeID]bool                // failed nodes drop all traffic
+	idSeq  uint64                         // packet-id counter (partition-tagged inside a fabric)
 	stats  Stats
 	tracer *trace.Tracer // nil = tracing off (the common, zero-cost case)
 
@@ -169,6 +190,13 @@ func (n *Network) Name(id NodeID) string {
 // Connect creates a bidirectional link between a and b with the same config
 // in both directions. Both nodes must already be added.
 func (n *Network) Connect(a, b NodeID, cfg LinkConfig) {
+	n.ConnectAsym(a, b, cfg, cfg)
+}
+
+// ConnectAsym creates a bidirectional link with direction-specific configs:
+// ab governs a→b, ba governs b→a. Asymmetric impairment (loss on the
+// ACK-carrying direction only) and asymmetric capacity both need it.
+func (n *Network) ConnectAsym(a, b NodeID, ab, ba LinkConfig) {
 	if n.fab != nil {
 		panic("netsim: partition networks are wired through Fabric.Connect")
 	}
@@ -178,9 +206,41 @@ func (n *Network) Connect(a, b NodeID, cfg LinkConfig) {
 	if _, ok := n.nodes[b]; !ok {
 		panic(fmt.Sprintf("netsim: connect: unknown node %d", b))
 	}
-	n.links[[2]NodeID{a, b}] = &link{cfg: cfg, from: a, to: b}
-	n.links[[2]NodeID{b, a}] = &link{cfg: cfg, from: b, to: a}
+	n.links[[2]NodeID{a, b}] = n.newLink(a, b, ab)
+	n.links[[2]NodeID{b, a}] = n.newLink(b, a, ba)
 	n.routes = nil // invalidate; recomputed lazily
+	n.multi = nil
+}
+
+// newLink builds one directed link, validating its config and forking the
+// impairment RNG (from this network's stream — the SOURCE partition's inside
+// a fabric) only when impairments are configured, so clean links leave the
+// historical draw sequence untouched.
+func (n *Network) newLink(from, to NodeID, cfg LinkConfig) *link {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("netsim: connect %d->%d: %v", from, to, err))
+	}
+	l := &link{cfg: cfg, from: from, to: to}
+	if cfg.Impair.Enabled() {
+		l.imp = newLinkImpair(cfg.Impair, n.rand.Fork())
+	}
+	return l
+}
+
+// SetECMP enables flow-hashed equal-cost multipath forwarding: where the
+// route table finds several shortest paths, each flow (From, To, ports) is
+// pinned by hash to one of them — in-order within a flow, spread across the
+// fabric between flows, with naturally asymmetric request/ACK routes (the
+// reverse flow hashes independently). Call before traffic flows; single-path
+// topologies are unaffected. Partitioned networks get this from
+// Fabric.SetECMP instead.
+func (n *Network) SetECMP(on bool) {
+	if n.fab != nil {
+		panic("netsim: partition networks get ECMP from Fabric.SetECMP")
+	}
+	n.ecmp = on
+	n.routes = nil
+	n.multi = nil
 }
 
 // computeRoutes runs BFS from every node to build next-hop tables.
@@ -203,6 +263,9 @@ func (n *Network) computeRoutes() {
 		srcs = append(srcs, src)
 	}
 	n.routes = buildRouteTable(linkKeys, srcs)
+	if n.ecmp {
+		n.multi = buildMultiRouteTable(linkKeys, srcs)
+	}
 }
 
 // buildRouteTable is the shared BFS next-hop builder, used both by a classic
@@ -256,6 +319,59 @@ func buildRouteTable(linkKeys [][2]NodeID, srcs []NodeID) map[NodeID]map[NodeID]
 	return routes
 }
 
+// buildMultiRouteTable is the ECMP companion of buildRouteTable: for every
+// (node, dst) pair it records ALL neighbours one BFS level closer to dst, in
+// ascending neighbour order. The single-path table's next hop is always a
+// member, so enabling ECMP on a single-path topology changes nothing.
+func buildMultiRouteTable(linkKeys [][2]NodeID, srcs []NodeID) map[NodeID]map[NodeID][]NodeID {
+	sort.Slice(linkKeys, func(i, j int) bool {
+		if linkKeys[i][0] != linkKeys[j][0] {
+			return linkKeys[i][0] < linkKeys[j][0]
+		}
+		return linkKeys[i][1] < linkKeys[j][1]
+	})
+	adj := make(map[NodeID][]NodeID)
+	for _, key := range linkKeys {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	multi := make(map[NodeID]map[NodeID][]NodeID, len(srcs))
+	for _, src := range srcs {
+		// BFS from src records hop distances; any neighbour one level closer
+		// is an equal-cost next hop toward src.
+		dist := map[NodeID]int{src: 0}
+		order := []NodeID{src}
+		queue := []NodeID{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if _, seen := dist[nb]; !seen {
+					dist[nb] = dist[cur] + 1
+					order = append(order, nb)
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, node := range order {
+			if node == src {
+				continue
+			}
+			var hops []NodeID
+			for _, nb := range adj[node] {
+				if d, ok := dist[nb]; ok && d == dist[node]-1 {
+					hops = append(hops, nb)
+				}
+			}
+			if multi[node] == nil {
+				multi[node] = make(map[NodeID][]NodeID)
+			}
+			multi[node][src] = hops
+		}
+	}
+	return multi
+}
+
 // NextHop returns the neighbour to which `at` should forward traffic headed
 // for dst, and whether a route exists.
 func (n *Network) NextHop(at, dst NodeID) (NodeID, bool) {
@@ -264,6 +380,38 @@ func (n *Network) NextHop(at, dst NodeID) (NodeID, bool) {
 	}
 	hop, ok := n.routes[at][dst]
 	return hop, ok
+}
+
+// nextHopFor picks the egress neighbour for pkt at `from`: the single-path
+// table normally, a flow-hashed choice among the equal-cost next hops under
+// ECMP. The hash covers (switch, From, To, ports), so one flow always takes
+// one path through a given switch — in-order delivery within a flow is
+// preserved (§IV-A4) while distinct flows spread across the fabric.
+func (n *Network) nextHopFor(from NodeID, pkt *Packet) (NodeID, bool) {
+	if n.routes == nil {
+		n.computeRoutes()
+	}
+	if n.multi != nil {
+		if hops := n.multi[from][pkt.To]; len(hops) > 1 {
+			return hops[ecmpFlowHash(from, pkt)%uint64(len(hops))], true
+		}
+	}
+	hop, ok := n.routes[from][pkt.To]
+	return hop, ok
+}
+
+// ecmpFlowHash mixes the flow identity with the hashing switch's id through
+// a splitmix64 finalizer — per-switch-independent choices, deterministic
+// across runs and shard counts (no RNG involved).
+func ecmpFlowHash(at NodeID, pkt *Packet) uint64 {
+	h := uint64(uint32(at))<<40 ^ uint64(uint32(pkt.From))<<24 ^
+		uint64(uint32(pkt.To))<<8 ^ uint64(pkt.SrcPort)<<16 ^ uint64(pkt.DstPort)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // SetNodeDown marks a node failed (true) or restored (false). Failed nodes
@@ -416,7 +564,7 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 		n.deliver(pkt, from)
 		return
 	}
-	hop, ok := n.NextHop(from, pkt.To)
+	hop, ok := n.nextHopFor(from, pkt)
 	if !ok {
 		n.stats.DroppedDead++
 		n.dropPacket(pkt, from, trace.DropDead)
@@ -428,8 +576,36 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 		n.dropPacket(pkt, from, trace.DropDead)
 		return
 	}
+	var dup *Packet
+	if im := l.imp; im != nil {
+		if im.lose() {
+			n.stats.DroppedBurst++
+			n.dropPacket(pkt, from, trace.DropBurst)
+			return
+		}
+		if im.duplicate() {
+			dup = n.dupPacket(pkt)
+		}
+	}
+	n.sendOnLink(l, pkt, from, hop)
+	if dup != nil {
+		n.stats.Duplicated++
+		n.sendOnLink(l, dup, from, hop)
+	}
+}
+
+// sendOnLink runs one packet through the from→hop link: drop-tail admission,
+// legacy random loss, (optionally rate-shaped) serialization, then the
+// arrival hand-off. The draw order on n.rand is exactly the historical
+// Transmit sequence — the impairment models draw only from the link's own
+// forked stream — so pre-impairment configurations keep their golden bytes.
+func (n *Network) sendOnLink(l *link, pkt *Packet, from, hop NodeID) {
 	size := pkt.Size()
-	if l.cfg.QueueBytes > 0 && l.queued+size > l.cfg.QueueBytes {
+	// Drop-tail admission: a full queue drops the tail, but the head packet
+	// is always admitted — when nothing is queued or in service the packet
+	// occupies the (idle) transmitter, however large, instead of being
+	// permanently undeliverable.
+	if l.cfg.QueueBytes > 0 && l.queued > 0 && l.queued+size > l.cfg.QueueBytes {
 		l.dropped++
 		n.stats.DroppedFull++
 		n.dropPacket(pkt, from, trace.DropFull)
@@ -449,6 +625,11 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 	if start < now {
 		start = now
 	}
+	if im := l.imp; im != nil && im.cfg.RateBps > 0 {
+		if at := im.shapeStart(now, size); at > start {
+			start = at
+		}
+	}
 	l.queued += size
 	l.busyAt = start + ser
 	txDone := l.busyAt
@@ -458,6 +639,11 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 	}
 	n.eng.At(txDone, n.getTxEnd(l, size).fn)
 	arriveAt := txDone + l.cfg.PropDelay
+	if im := l.imp; im != nil {
+		// Jitter/reorder hold-back is strictly additive, so arriveAt stays ≥
+		// now + serialization + PropDelay — the fabric lookahead bound.
+		arriveAt += im.extraDelay()
+	}
 	if n.xout != nil {
 		if x := n.xout[[2]NodeID{from, hop}]; x != nil {
 			// The next hop lives in another partition: hand the packet off
@@ -472,6 +658,22 @@ func (n *Network) Transmit(pkt *Packet, from NodeID) {
 		}
 	}
 	n.eng.At(arriveAt, n.getArrival(pkt, hop).fn)
+}
+
+// dupPacket mints a pool-owned copy of p for link-level duplication with its
+// own Raw buffer and a fresh id. Packet.Clone is wrong here: it shares Raw,
+// and Raw buffers are pool-owned — the original and the duplicate end their
+// journeys (and free) independently. Msg is copied by value; payload buffers
+// are never pooled, so sharing those is safe.
+func (n *Network) dupPacket(p *Packet) *Packet {
+	q := n.AllocPacket()
+	raw := append(q.Raw[:0], p.Raw...)
+	pool, home := q.pool, q.home
+	*q = *p
+	q.Raw = raw
+	q.pool, q.home = pool, home
+	q.ID = n.NewPacketID()
+	return q
 }
 
 // dropPacket records the drop into the trace (when tracing is on) and

@@ -1,0 +1,137 @@
+package netsim
+
+// Generated datacenter topologies. A Topology describes a fabric of plain
+// switches inserted between the client machines and the server rack's ToR:
+// clients attach round-robin to the ClientEdges, the rack ToR uplinks from
+// the ServerEdge, and multipath fabrics set ECMP so the testbed enables
+// flow-hash forwarding (Network.SetECMP / Fabric.SetECMP). Generators are
+// pure functions of their parameters: switch ids, names, link order and
+// configs come out identical on every run, so the fabric composes with the
+// PDES partition planner and the byte-identity goldens unchanged.
+
+import "fmt"
+
+// Switch id bases for generated fabrics, above every builder-assigned range
+// (clients 1..N, tor 1000, devices 2000+, servers 3000+, noise 4000).
+const (
+	leafBase  NodeID = 5000 // leaf-spine leaves; fat-tree edge switches
+	spineBase NodeID = 5200 // leaf-spine spines; fat-tree aggregation
+	coreBase  NodeID = 5400 // fat-tree cores
+)
+
+// TopoSwitch is one generated switch.
+type TopoSwitch struct {
+	ID   NodeID
+	Name string
+}
+
+// TopoLink is one generated fabric link (bidirectional, symmetric config).
+type TopoLink struct {
+	A, B NodeID
+	Cfg  LinkConfig
+}
+
+// Topology is a generated switch fabric awaiting instantiation by a builder.
+type Topology struct {
+	Switches    []TopoSwitch
+	Links       []TopoLink
+	ClientEdges []NodeID // client hosts attach here, round-robin
+	ServerEdge  NodeID   // the server rack's ToR uplinks here
+	ECMP        bool     // fabric has equal-cost multipaths
+}
+
+// LeafSpine generates a two-tier leaf-spine fabric: every leaf connects to
+// every spine. The last leaf is the server edge; clients spread across the
+// others. Uplink bandwidth is sized from the oversubscription ratio —
+// hostsPerLeaf host-facing ports of hostLink.Bandwidth shared over `spines`
+// uplinks at ratio oversub (oversub 1 = full bisection; 4 = a 4:1
+// oversubscribed fabric whose uplinks congest under incast).
+func LeafSpine(leaves, spines int, oversub float64, hostLink LinkConfig, hostsPerLeaf int) Topology {
+	if leaves < 2 {
+		panic("netsim: leaf-spine needs at least 2 leaves (client edge + server edge)")
+	}
+	if spines < 1 {
+		panic("netsim: leaf-spine needs at least 1 spine")
+	}
+	if oversub <= 0 {
+		oversub = 1
+	}
+	if hostsPerLeaf < 1 {
+		hostsPerLeaf = 1
+	}
+	up := hostLink
+	up.PropDelay = 2 * hostLink.PropDelay // inter-rack run vs intra-rack DAC
+	if hostLink.Bandwidth > 0 {
+		up.Bandwidth = float64(hostsPerLeaf) * hostLink.Bandwidth / (float64(spines) * oversub)
+	}
+	var t Topology
+	t.ECMP = spines > 1
+	for s := 0; s < spines; s++ {
+		t.Switches = append(t.Switches, TopoSwitch{
+			ID: spineBase + NodeID(s), Name: fmt.Sprintf("spine-%d", s)})
+	}
+	for l := 0; l < leaves; l++ {
+		id := leafBase + NodeID(l)
+		t.Switches = append(t.Switches, TopoSwitch{ID: id, Name: fmt.Sprintf("leaf-%d", l)})
+		for s := 0; s < spines; s++ {
+			t.Links = append(t.Links, TopoLink{A: id, B: spineBase + NodeID(s), Cfg: up})
+		}
+	}
+	for l := 0; l < leaves-1; l++ {
+		t.ClientEdges = append(t.ClientEdges, leafBase+NodeID(l))
+	}
+	t.ServerEdge = leafBase + NodeID(leaves-1)
+	return t
+}
+
+// FatTree generates a k-ary fat-tree: k pods of k/2 edge and k/2 aggregation
+// switches, (k/2)² cores, full bisection bandwidth at hostLink.Bandwidth.
+// Aggregation switch j of every pod connects to cores j·k/2 … (j+1)·k/2−1.
+// The last edge switch is the server edge; clients spread across the rest.
+// k must be even and ≥ 2; k ≥ 4 gives equal-cost multipaths (ECMP).
+func FatTree(k int, hostLink LinkConfig) Topology {
+	if k < 2 || k%2 != 0 {
+		panic("netsim: fat-tree arity must be even and >= 2")
+	}
+	half := k / 2
+	up := hostLink
+	up.PropDelay = 2 * hostLink.PropDelay
+	core := hostLink
+	core.PropDelay = 3 * hostLink.PropDelay
+	var t Topology
+	t.ECMP = half > 1
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			t.Switches = append(t.Switches, TopoSwitch{
+				ID: leafBase + NodeID(p*half+e), Name: fmt.Sprintf("edge-%d-%d", p, e)})
+		}
+		for a := 0; a < half; a++ {
+			t.Switches = append(t.Switches, TopoSwitch{
+				ID: spineBase + NodeID(p*half+a), Name: fmt.Sprintf("agg-%d-%d", p, a)})
+		}
+	}
+	for c := 0; c < half*half; c++ {
+		t.Switches = append(t.Switches, TopoSwitch{
+			ID: coreBase + NodeID(c), Name: fmt.Sprintf("core-%d", c)})
+	}
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				t.Links = append(t.Links, TopoLink{
+					A: leafBase + NodeID(p*half+e), B: spineBase + NodeID(p*half+a), Cfg: up})
+			}
+		}
+		for a := 0; a < half; a++ {
+			for i := 0; i < half; i++ {
+				t.Links = append(t.Links, TopoLink{
+					A: spineBase + NodeID(p*half+a), B: coreBase + NodeID(a*half+i), Cfg: core})
+			}
+		}
+	}
+	edges := k * half
+	for i := 0; i < edges-1; i++ {
+		t.ClientEdges = append(t.ClientEdges, leafBase+NodeID(i))
+	}
+	t.ServerEdge = leafBase + NodeID(edges-1)
+	return t
+}

@@ -67,7 +67,7 @@ const (
 	// C = session<<32|seq.
 	EvServerAck
 	// EvDrop: the network dropped a packet. A = node id at the drop point,
-	// B = packet id, C = drop reason (DropDead/DropFull/DropRand).
+	// B = packet id, C = drop reason (DropDead/DropFull/DropRand/DropBurst).
 	EvDrop
 
 	// GaugeLinkQueue: egress-queue occupancy of one link after a change.
@@ -88,9 +88,10 @@ const (
 
 // Drop reasons carried in EvDrop's C field.
 const (
-	DropDead uint64 = iota + 1 // destination or next hop down/unroutable
-	DropFull                   // drop-tail queue overflow
-	DropRand                   // random loss
+	DropDead  uint64 = iota + 1 // destination or next hop down/unroutable
+	DropFull                    // drop-tail queue overflow
+	DropRand                    // random loss
+	DropBurst                   // impairment-model (Gilbert–Elliott) loss
 )
 
 // kindNames are the wire names used by the chrome exporter; indexed by Kind.

@@ -70,6 +70,28 @@ type Config struct {
 	// robustness experiments).
 	LossRate float64
 
+	// Topology selects the switch fabric between the client machines and the
+	// server rack's ToR. The default star attaches every client directly to
+	// the ToR (the paper's testbed); leaf-spine and fat-tree insert a
+	// generated multi-switch fabric with deterministic ECMP flow hashing when
+	// it has equal-cost multipaths. Leaves/Spines/Oversub parameterize
+	// leaf-spine (netsim.LeafSpine); FatTreeK is the fat-tree arity
+	// (netsim.FatTree).
+	Topology TopologyKind
+	Leaves   int
+	Spines   int
+	Oversub  float64
+	FatTreeK int
+
+	// Impair applies deterministic netem-style impairments (Gilbert–Elliott
+	// burst loss, lognormal jitter, bounded reordering, duplication,
+	// token-bucket rate shaping) to the client access links, each direction
+	// drawing from its own per-link forked RNG stream. ImpairAckPath scopes
+	// them to the edge→client direction only — the path PMNet's early ACKs
+	// travel — leaving the request direction clean.
+	Impair        netsim.Impairments
+	ImpairAckPath bool
+
 	// CrossTrafficGbps injects Poisson background traffic from a noise host
 	// toward the server at this rate, contending for the server-side links
 	// and switch queues — the shared-network tail-latency source of §I.
@@ -107,6 +129,67 @@ type Config struct {
 	// oversubscribing it. Worker count never affects results — only wall
 	// clock (DESIGN.md §10.6).
 	WorkerBudget WorkerBudget
+}
+
+// TopologyKind selects the switch fabric between the clients and the rack.
+type TopologyKind int
+
+const (
+	// StarTopology is the classic single-ToR star (the paper's testbed).
+	StarTopology TopologyKind = iota
+	// LeafSpineTopology inserts a two-tier leaf–spine fabric between the
+	// clients and the rack ToR (netsim.LeafSpine).
+	LeafSpineTopology
+	// FatTreeTopology inserts a k-ary fat-tree fabric (netsim.FatTree).
+	FatTreeTopology
+)
+
+// fabricTopology generates the switch fabric between the clients and the
+// rack ToR for non-star topologies; ok is false for the default star. A pure
+// function of the Config, shared by the classic builder, the sharded builder
+// and the partition planner so all three see the identical fabric.
+func (cfg *Config) fabricTopology(link netsim.LinkConfig) (topo netsim.Topology, ok bool) {
+	switch cfg.Topology {
+	case LeafSpineTopology:
+		leaves, spines := cfg.Leaves, cfg.Spines
+		if leaves < 2 {
+			leaves = 2
+		}
+		if spines < 1 {
+			spines = 2
+		}
+		// Clients spread round-robin over the client-edge leaves.
+		hostsPerLeaf := (cfg.Clients + leaves - 2) / (leaves - 1)
+		return netsim.LeafSpine(leaves, spines, cfg.Oversub, link, hostsPerLeaf), true
+	case FatTreeTopology:
+		k := cfg.FatTreeK
+		if k < 2 {
+			k = 4
+		}
+		return netsim.FatTree(k, link), true
+	}
+	return netsim.Topology{}, false
+}
+
+// accessLinks resolves the client access-link pair (client→edge up,
+// edge→client down) with the configured impairments applied. ImpairAckPath
+// scopes the impairments to the down (ACK) direction only.
+func accessLinks(cfg *Config, link netsim.LinkConfig) (up, down netsim.LinkConfig) {
+	up, down = link, link
+	if cfg.Impair.Enabled() {
+		down.Impair = cfg.Impair
+		if !cfg.ImpairAckPath {
+			up.Impair = cfg.Impair
+		}
+	}
+	return up, down
+}
+
+// fabricUplink is the ServerEdge→ToR link config: the resolved host link at
+// the fabric's inter-rack propagation delay.
+func fabricUplink(link netsim.LinkConfig) netsim.LinkConfig {
+	link.PropDelay = 2 * link.PropDelay
+	return link
 }
 
 // WorkerBudget hands out extra worker tokens from a shared pool. Acquire
@@ -176,6 +259,10 @@ type Testbed struct {
 	Devices  []*dataplane.Device // empty for ClientServer
 	ToR      *netsim.Switch      // the plain switch merging client traffic
 
+	// FabricSwitches are the generated-topology switches (leaf-spine /
+	// fat-tree), in generator order; empty for the default star.
+	FabricSwitches []*netsim.Switch
+
 	cross *netsim.CrossTraffic
 	cfg   Config
 
@@ -233,12 +320,37 @@ func NewTestbed(cfg Config) *Testbed {
 	// Plain ToR switch merging client traffic (§VI-A1).
 	tb.ToR = netsim.NewSwitch(net, torID, "tor", netsim.DefaultSwitchLatency)
 
-	// Client hosts behind the ToR.
+	// Generated switch fabric between the clients and the rack ToR (leaf-
+	// spine / fat-tree). Fabric switches carry no RNG and the fabric links no
+	// impairments, so the star path's fork order — and its goldens — are
+	// untouched.
+	var clientEdges []netsim.NodeID
+	if topo, ok := cfg.fabricTopology(link); ok {
+		for _, sw := range topo.Switches {
+			tb.FabricSwitches = append(tb.FabricSwitches,
+				netsim.NewSwitch(net, sw.ID, sw.Name, netsim.DefaultSwitchLatency))
+		}
+		for _, tl := range topo.Links {
+			net.Connect(tl.A, tl.B, tl.Cfg)
+		}
+		net.Connect(topo.ServerEdge, torID, fabricUplink(link))
+		if topo.ECMP {
+			net.SetECMP(true)
+		}
+		clientEdges = topo.ClientEdges
+	}
+
+	// Client hosts behind the ToR (or spread over the fabric's client edges).
+	up, down := accessLinks(&cfg, link)
 	for i := 0; i < cfg.Clients; i++ {
 		h := netsim.NewHost(net, netsim.NodeID(i+1), fmt.Sprintf("client-%d", i),
 			clientStack, 1, root.Fork())
 		tb.Clients = append(tb.Clients, h)
-		net.Connect(h.ID(), torID, link)
+		edge := torID
+		if len(clientEdges) > 0 {
+			edge = clientEdges[i%len(clientEdges)]
+		}
+		net.ConnectAsym(h.ID(), edge, up, down)
 	}
 
 	// PMNet devices between ToR and server (switch chain) or at the server
@@ -467,6 +579,8 @@ func (tb *Testbed) Counters() *trace.Registry {
 	reg.Add("net.dropped_full", func() uint64 { return tb.NetworkStats().DroppedFull })
 	reg.Add("net.dropped_rand", func() uint64 { return tb.NetworkStats().DroppedRand })
 	reg.Add("net.dropped_dead", func() uint64 { return tb.NetworkStats().DroppedDead })
+	reg.Add("net.dropped_burst", func() uint64 { return tb.NetworkStats().DroppedBurst })
+	reg.Add("net.duplicated", func() uint64 { return tb.NetworkStats().Duplicated })
 	if tb.fab != nil {
 		// Partition count is a pure function of the topology — identical at
 		// every shard count — so it is safe in the byte-compared counters

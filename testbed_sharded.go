@@ -52,9 +52,28 @@ func planTopology(cfg *Config, link netsim.LinkConfig) netsim.Plan {
 	for i := 0; i < cfg.Servers; i++ {
 		nodes = append(nodes, netsim.PlanNode{ID: serverID + netsim.NodeID(i), Group: serverColoGroup})
 	}
+	// Generated fabric (leaf-spine / fat-tree) between clients and the ToR —
+	// the exact switches and links newShardedTestbed instantiates below.
+	topo, hasTopo := cfg.fabricTopology(link)
+	if hasTopo {
+		for _, sw := range topo.Switches {
+			nodes = append(nodes, netsim.PlanNode{ID: sw.ID, Group: -1})
+		}
+		for _, tl := range topo.Links {
+			links = append(links, netsim.PlanLink{A: tl.A, B: tl.B, Cfg: tl.Cfg})
+		}
+		links = append(links, netsim.PlanLink{A: topo.ServerEdge, B: torID, Cfg: fabricUplink(link)})
+	}
+	up, _ := accessLinks(cfg, link)
 	for i := 0; i < cfg.Clients; i++ {
 		nodes = append(nodes, netsim.PlanNode{ID: netsim.NodeID(i + 1), Group: -1})
-		links = append(links, netsim.PlanLink{A: netsim.NodeID(i + 1), B: torID, Cfg: link})
+		edge := torID
+		if hasTopo {
+			edge = topo.ClientEdges[i%len(topo.ClientEdges)]
+		}
+		// The planner reads only latency/bandwidth, identical in the up and
+		// down directions — impairments never shrink a link's latency bound.
+		links = append(links, netsim.PlanLink{A: netsim.NodeID(i + 1), B: edge, Cfg: up})
 	}
 	if cfg.Design != ClientServer {
 		prev := torID
@@ -150,13 +169,37 @@ func newShardedTestbed(cfg Config, link netsim.LinkConfig) *Testbed {
 	// Plain ToR switch merging client traffic (§VI-A1).
 	tb.ToR = netsim.NewSwitch(fab.Part(plan.Part[torID]), torID, "tor", netsim.DefaultSwitchLatency)
 
-	// Client hosts behind the ToR.
+	// Generated switch fabric between the clients and the rack ToR, mirroring
+	// planTopology exactly. Impaired links fork their RNG from the SOURCE
+	// partition's stream at connect time, so the fork order is a function of
+	// the build order and the plan — never of the shard count.
+	topo, hasTopo := cfg.fabricTopology(link)
+	if hasTopo {
+		for _, sw := range topo.Switches {
+			tb.FabricSwitches = append(tb.FabricSwitches,
+				netsim.NewSwitch(fab.Part(plan.Part[sw.ID]), sw.ID, sw.Name, netsim.DefaultSwitchLatency))
+		}
+		for _, tl := range topo.Links {
+			fab.Connect(tl.A, tl.B, tl.Cfg)
+		}
+		fab.Connect(topo.ServerEdge, torID, fabricUplink(link))
+		if topo.ECMP {
+			fab.SetECMP(true)
+		}
+	}
+
+	// Client hosts behind the ToR (or spread over the fabric's client edges).
+	up, down := accessLinks(&cfg, link)
 	for i := 0; i < cfg.Clients; i++ {
 		id := netsim.NodeID(i + 1)
 		h := netsim.NewHost(fab.Part(plan.Part[id]), id, fmt.Sprintf("client-%d", i),
 			clientStack, 1, root.Fork())
 		tb.Clients = append(tb.Clients, h)
-		fab.Connect(h.ID(), torID, link)
+		edge := torID
+		if hasTopo {
+			edge = topo.ClientEdges[i%len(topo.ClientEdges)]
+		}
+		fab.ConnectAsym(h.ID(), edge, up, down)
 	}
 
 	// PMNet devices between ToR and server (switch chain) or at the server
