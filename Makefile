@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build test race vet lint lint-sarif ci bench bench-json microbench trace-smoke \
 	shard-smoke openloop-smoke speedup-smoke impairments-smoke bench-baseline \
-	bench-regression benchdiff
+	bench-regression benchdiff sched-baseline sched-gate
 
 all: build test
 
@@ -30,7 +30,7 @@ lint-sarif:
 
 # Everything CI runs, in the same order.
 ci: build test race vet lint trace-smoke shard-smoke openloop-smoke speedup-smoke \
-	impairments-smoke
+	impairments-smoke sched-gate
 
 # Trace determinism smoke: the pinned scenario's chrome://tracing bytes must
 # match the golden (same bytes TestTraceGoldenSmoke pins), and 8 concurrent
@@ -49,7 +49,7 @@ trace-smoke:
 # matching alloc_test.go files). Override BENCHTIME=1x for a CI smoke run.
 BENCHTIME ?= 1s
 microbench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule|BenchmarkTransmit|BenchmarkPersistAll|BenchmarkEpochOverhead|BenchmarkBarrier' \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule|BenchmarkCancel|BenchmarkTransmit|BenchmarkPersistAll|BenchmarkEpochOverhead|BenchmarkBarrier' \
 		-benchtime $(BENCHTIME) -benchmem ./internal/sim ./internal/netsim ./internal/pmem ./internal/sim/pdes
 
 # Full experiment suite, cells on a GOMAXPROCS-sized worker pool.
@@ -135,3 +135,20 @@ benchdiff:
 bench-regression:
 	$(GO) run ./cmd/pmnetbench -run all -seed 1 -parallel 0 -json > $(NEW)
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json $(NEW)
+
+# Scheduler micro-benchmark gate. Fixed iteration counts (not -benchtime 1s)
+# keep the measured loop identical between baseline and candidate, so ns/op is
+# comparable even on a noisy single-core runner. The ns/op threshold is
+# deliberately generous (40%) — the tight screw is allocs/op, which is
+# deterministic and must not grow at all (benchdiff -gobench fails on any
+# increase). Refresh the committed baseline with `make sched-baseline` after an
+# intentional scheduler change or on new hardware.
+SCHEDBENCHTIME ?= 300000x
+sched-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule|BenchmarkCancel' \
+		-benchtime $(SCHEDBENCHTIME) -benchmem ./internal/sim | tee BENCH_sched_baseline.txt
+
+sched-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule|BenchmarkCancel' \
+		-benchtime $(SCHEDBENCHTIME) -benchmem ./internal/sim > /tmp/pmnet_sched_new.txt
+	$(GO) run ./cmd/benchdiff -gobench -threshold 40 BENCH_sched_baseline.txt /tmp/pmnet_sched_new.txt

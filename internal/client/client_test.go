@@ -346,3 +346,54 @@ func TestBackoffStretchesFailureTime(t *testing.T) {
 		t.Errorf("backoff failure at %v, want 750µs", backed)
 	}
 }
+
+// TestRecycledPendingTimerNeverZombies is the lazy-cancellation regression
+// test at the client layer: finishing a request cancels its retransmission
+// timer lazily (the dead node stays queued in the engine's wheel until
+// swept), and the pending record — with its once-bound timerFn closure — is
+// immediately recycled for the next request. If the dead timer fired anyway
+// it would invoke onTimeout on the RECYCLED record and trigger a spurious
+// resend for a request that never timed out. Drive many back-to-back
+// requests whose completions land well before each timeout, then let the
+// clock run far past every cancelled deadline: the resend counter must stay
+// zero.
+func TestRecycledPendingTimerNeverZombies(t *testing.T) {
+	rig := newEchoRig(t)
+	rig.sendPMNetAck = true
+	s := rig.session(Config{Mode: ModePMNet, Timeout: 50 * sim.Microsecond, MaxRetries: 3})
+	completed := 0
+	var issue func(n int)
+	issue = func(n int) {
+		if n == 0 {
+			return
+		}
+		// Each completion recycles the pending record and immediately
+		// reuses it, while the previous request's cancelled timer is still
+		// parked in the wheel (its deadline is ~50µs out; the round trip is
+		// a few µs).
+		s.SendUpdate(protocol.PutReq([]byte("k"), []byte("v")), func(r Result) {
+			if r.Err != nil {
+				t.Fatalf("request failed: %v", r.Err)
+			}
+			completed++
+			issue(n - 1)
+		})
+	}
+	issue(64)
+	rig.eng.Run()
+	// Run far past the last cancelled deadline so every dead timer node has
+	// been reached and discarded by the wheel.
+	rig.eng.RunUntil(rig.eng.Now() + 10*50*sim.Microsecond)
+	if completed != 64 {
+		t.Fatalf("completed %d of 64", completed)
+	}
+	if got := s.Stats().Resends; got != 0 {
+		t.Fatalf("zombie timers caused %d resends; every request completed promptly", got)
+	}
+	if s.Outstanding() != 0 {
+		t.Fatal("requests leaked")
+	}
+	if got := rig.eng.Pending(); got != 0 {
+		t.Fatalf("engine still reports %d live events after drain", got)
+	}
+}

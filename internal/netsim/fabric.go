@@ -23,9 +23,10 @@ package netsim
 //     end of each epoch is the only happens-before edge needed between the
 //     two (DESIGN.md §10.6).
 //   - Each parity side publishes the minimum queued arrival time (reset by
-//     the producer's Begin, maintained on push); Fabric.PendingMin folds
-//     them into the runner's gmin so events sitting undrained in a buffer
-//     can never be skipped past.
+//     the producer's Begin, maintained on push); Fabric.PendingOutFunc folds
+//     a shard's outbound minimums into the slot it publishes to the runner,
+//     so events sitting undrained in a buffer can never be skipped past and
+//     the runner's reduce stays O(shards).
 //   - The destination injects queued arrivals ordered by
 //     (arrival time, source partition index, source emission order) — a key
 //     computed from the topology alone, so the injection order cannot
@@ -339,19 +340,47 @@ func (f *Fabric) DrainFunc(shard int) func(parity uint32) {
 	}
 }
 
-// PendingMin reports the minimum arrival time queued at the given parity
-// across every handoff queue — the pdes Pending hook, folded into gmin so
-// undrained buffered events bound the epoch window. Safe for every worker to
-// call concurrently: producers only write the opposite parity, and the
-// barrier ordered this parity's last writes before the read.
-func (f *Fabric) PendingMin(parity uint32) sim.Time {
-	min := xnever
-	for _, q := range f.allq {
-		if t := q.sides[parity].qmin; t < min {
-			min = t
+// PendingOutFunc returns the pdes PendingOut hook for one shard: the minimum
+// arrival time queued at the given parity across the shard's outbound
+// handoff queues, split into own (destination partition on this same shard —
+// drained by this shard's own worker) and cross (destination on another
+// shard). The runner folds own into the shard's published next-event time
+// and cross into the published y slot, so its reduce is O(shards) with no
+// global queue scan, and undrained buffered events still bound the epoch
+// window. Only the worker driving the shard calls it (at publish), so it
+// reads only queue minimums that worker's epoch just wrote. Call after
+// Freeze — the queue lists are built there.
+func (f *Fabric) PendingOutFunc(shard int) func(parity uint32) (own, cross sim.Time) {
+	if !f.frozen {
+		panic("netsim: fabric not frozen")
+	}
+	var ownQ, crossQ []*xqueue
+	for p, s := range f.assign {
+		if s != shard {
+			continue
+		}
+		for _, q := range f.xoutOf[p] {
+			if f.assign[q.dst] == shard {
+				ownQ = append(ownQ, q)
+			} else {
+				crossQ = append(crossQ, q)
+			}
 		}
 	}
-	return min
+	return func(parity uint32) (own, cross sim.Time) {
+		own, cross = xnever, xnever
+		for _, q := range ownQ {
+			if t := q.sides[parity].qmin; t < own {
+				own = t
+			}
+		}
+		for _, q := range crossQ {
+			if t := q.sides[parity].qmin; t < cross {
+				cross = t
+			}
+		}
+		return own, cross
+	}
 }
 
 // Quiesce repatriates every cross-partition free still parked in a return

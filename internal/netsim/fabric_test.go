@@ -41,13 +41,12 @@ func newFabricRig() *fabricRig {
 		out.Raw = append(out.Raw[:0], p.Raw...)
 		nb.Transmit(out, 2)
 	})
-	shards := []pdes.Shard{
-		{Eng: rg.engs[0], Begin: rg.fab.BeginFunc(0), Drain: rg.fab.DrainFunc(0)},
-		{Eng: rg.engs[1], Begin: rg.fab.BeginFunc(1), Drain: rg.fab.DrainFunc(1)},
-	}
 	rg.fab.Freeze()
+	shards := []pdes.Shard{
+		{Eng: rg.engs[0], Begin: rg.fab.BeginFunc(0), Drain: rg.fab.DrainFunc(0), PendingOut: rg.fab.PendingOutFunc(0)},
+		{Eng: rg.engs[1], Begin: rg.fab.BeginFunc(1), Drain: rg.fab.DrainFunc(1), PendingOut: rg.fab.PendingOutFunc(1)},
+	}
 	rg.runner = pdes.New(shards, rg.fab.Lookahead(), 1)
-	rg.runner.SetPending(rg.fab.PendingMin)
 	rg.runner.SetQuiesce(rg.fab.Quiesce)
 	return rg
 }

@@ -251,16 +251,25 @@ func (s *Server) onBypass(pkt *netsim.Packet) {
 	st := s.session(hdr.SessionID)
 	st.client = pkt.From
 	firstSeq := hdr.SeqNum - uint32(hdr.FragIdx)
-	r, ok := st.reasm[firstSeq]
-	if !ok {
-		r = protocol.NewReassembler(firstSeq, hdr.FragTotal)
-		st.reasm[firstSeq] = r
+	var payload []byte
+	if hdr.FragTotal <= 1 {
+		// Single-fragment query — the common case for small values: skip the
+		// reassembler and its parts table. The copy is still required: the
+		// packet's payload memory is pooled and recycled after delivery.
+		payload = append(make([]byte, 0, len(pkt.Msg.Payload)), pkt.Msg.Payload...)
+	} else {
+		r, ok := st.reasm[firstSeq]
+		if !ok {
+			r = protocol.NewReassembler(firstSeq, hdr.FragTotal)
+			st.reasm[firstSeq] = r
+		}
+		var err error
+		payload, err = r.Add(pkt.Msg)
+		if err != nil {
+			return // incomplete (or inconsistent duplicate)
+		}
+		delete(st.reasm, firstSeq)
 	}
-	payload, err := r.Add(pkt.Msg)
-	if err != nil {
-		return // incomplete (or inconsistent duplicate)
-	}
-	delete(st.reasm, firstSeq)
 	req, derr := protocol.DecodeRequest(payload)
 	q := query{firstSeq: firstSeq, lastSeq: hdr.SeqNum - uint32(hdr.FragIdx) + uint32(hdr.FragTotal) - 1,
 		req: req, from: pkt.From, srcPort: pkt.SrcPort, dstPort: pkt.DstPort}
@@ -437,16 +446,24 @@ func (s *Server) armGapCheck(sessID uint16, st *sessState) {
 func (s *Server) applyInOrder(sessID uint16, st *sessState, f bufferedFrag) {
 	hdr := f.msg.Hdr
 	firstSeq := hdr.SeqNum - uint32(hdr.FragIdx)
-	r, ok := st.reasm[firstSeq]
-	if !ok {
-		r = protocol.NewReassembler(firstSeq, hdr.FragTotal)
-		st.reasm[firstSeq] = r
+	var payload []byte
+	if hdr.FragTotal <= 1 {
+		// Single-fragment fast path, mirroring onBypass: no reassembler, one
+		// payload copy (the fragment's memory belongs to the packet pool).
+		payload = append(make([]byte, 0, len(f.msg.Payload)), f.msg.Payload...)
+	} else {
+		r, ok := st.reasm[firstSeq]
+		if !ok {
+			r = protocol.NewReassembler(firstSeq, hdr.FragTotal)
+			st.reasm[firstSeq] = r
+		}
+		var err error
+		payload, err = r.Add(f.msg)
+		if err != nil {
+			return // more fragments to come
+		}
+		delete(st.reasm, firstSeq)
 	}
-	payload, err := r.Add(f.msg)
-	if err != nil {
-		return // more fragments to come
-	}
-	delete(st.reasm, firstSeq)
 	req, derr := protocol.DecodeRequest(payload)
 	if derr != nil {
 		return // corrupt query: ignore; client will time out and resend

@@ -49,3 +49,47 @@ func BenchmarkEngineSchedule(b *testing.B) {
 		e.Step()
 	}
 }
+
+// BenchmarkEngineScheduleWheel is BenchmarkEngineSchedule with the delay
+// distribution spread across every wheel level and into the overflow list —
+// near-future events dominate (matching network workloads) but each
+// iteration also touches high levels, so cascade and promotion costs are in
+// the measured loop, not hidden behind an L0-only fast path.
+func BenchmarkEngineScheduleWheel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	delays := [8]Time{1, 3, 17, 63, 1 << 9, 1 << 14, 1 << 20, (Time(1) << topShift) + 5}
+	for i := 0; i < 256; i++ {
+		e.After(delays[i%len(delays)], fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(delays[i%len(delays)], fn)
+		e.Step()
+	}
+}
+
+// BenchmarkCancel measures the schedule→cancel cycle that client retry
+// timers pay on nearly every response: each iteration arms one timer a full
+// timeout ahead and cancels it. Lazy deletion makes the cancel itself O(1);
+// the sweep and compaction costs show up here too, because the standing
+// population forces periodic dead-node reclamation.
+func BenchmarkCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	var evs [64]Event
+	for i := range evs {
+		evs[i] = e.After(Time(1000+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(evs)
+		evs[k].Cancel()
+		evs[k] = e.After(Time(1000+k), fn)
+		if i%len(evs) == len(evs)-1 {
+			e.RunUntil(e.Now() + 1)
+		}
+	}
+}

@@ -104,6 +104,131 @@ func TestCancelStormAcrossWindows(t *testing.T) {
 	}
 }
 
+// TestCancelStormBoundaries repeats the windowed-vs-unwindowed storm with
+// delays aimed at the timer wheel's hazardous edges: level-rollover
+// boundaries (where a pop cascades a whole slot down a level) and the
+// overflow horizon (where far-future events sit in the sorted overflow list
+// until the wheel turns into their segment and promotes them). Cancelled
+// nodes parked exactly on those edges exercise lazy deletion during cascade
+// and during overflow promotion; runs under -race via `make race`/CI.
+func TestCancelStormBoundaries(t *testing.T) {
+	// One delay generator per hazard zone; each is stormed separately so a
+	// failure names the boundary it broke on.
+	zones := []struct {
+		name  string
+		delay func(r *Rand) Time
+	}{
+		{"rollover-l0l1", func(r *Rand) Time {
+			return Time(wheelSlots - 4 + r.Intn(8)) // straddle the 64 ns slot edge
+		}},
+		{"rollover-high", func(r *Rand) Time {
+			edge := Time(1) << (2 * wheelBits) // level-2 boundary
+			return edge - 4 + Time(r.Intn(8))
+		}},
+		{"overflow-promotion", func(r *Rand) Time {
+			// Half land just inside the wheel span, half just beyond it in
+			// the overflow list; promotion interleaves them back.
+			return wheelSpan - 50 + Time(r.Intn(100))
+		}},
+		{"deep-overflow", func(r *Rand) Time {
+			return wheelSpan * Time(1+r.Intn(3)) // multiple whole-wheel turns
+		}},
+	}
+	for _, zone := range zones {
+		zone := zone
+		t.Run(zone.name, func(t *testing.T) {
+			type record struct {
+				id    int
+				ev    Event
+				dead  bool
+				fired bool
+			}
+			storm := func(windowed bool) []string {
+				eng := NewEngine()
+				r := NewRand(7)
+				var log []string
+				live := make([]*record, 0, 256)
+				next := 0
+				var tick func()
+				tick = func() {
+					now := eng.Now()
+					for k := 0; k < 6; k++ {
+						rec := &record{id: next}
+						next++
+						rec.ev = eng.At(now+zone.delay(r), func() {
+							if rec.dead {
+								log = append(log, fmt.Sprintf("ZOMBIE %d", rec.id))
+								return
+							}
+							rec.fired = true
+							log = append(log, fmt.Sprintf("t=%d fire %d", eng.Now(), rec.id))
+						})
+						live = append(live, rec)
+					}
+					keep := live[:0]
+					for _, rec := range live {
+						if rec.fired {
+							continue
+						}
+						if r.Intn(3) == 0 {
+							rec.dead = true
+							rec.ev.Cancel()
+							log = append(log, fmt.Sprintf("t=%d cancel %d", now, rec.id))
+							continue
+						}
+						keep = append(keep, rec)
+					}
+					live = keep
+					if next < 600 {
+						// Re-arm from inside the hazard zone so successive
+						// bursts cross the boundary from both sides.
+						eng.At(now+1+Time(r.Intn(20)), tick)
+					}
+				}
+				eng.At(1, tick)
+				if windowed {
+					// Drive deadlines that bracket each upcoming event:
+					// one window ending just before it (forcing a peek and a
+					// partial cascade toward it) and one just past it. This
+					// lands RunUntil boundaries on cascade/promotion points
+					// without striding the whole overflow horizon.
+					for {
+						nt, ok := eng.NextTime()
+						if !ok {
+							break
+						}
+						if nt > eng.Now()+1 {
+							eng.RunUntil(nt - 1)
+						}
+						eng.RunUntil(nt + Time(wheelSlots-1))
+					}
+				} else {
+					eng.Run()
+				}
+				return log
+			}
+			base := storm(false)
+			if len(base) == 0 {
+				t.Fatal("storm produced no events")
+			}
+			for _, line := range base {
+				if len(line) >= 6 && line[:6] == "ZOMBIE" {
+					t.Fatalf("cancelled event fired: %q", line)
+				}
+			}
+			windowed := storm(true)
+			if len(windowed) != len(base) {
+				t.Fatalf("windowed run logged %d lines, unwindowed %d", len(windowed), len(base))
+			}
+			for i := range base {
+				if windowed[i] != base[i] {
+					t.Fatalf("line %d: windowed %q != unwindowed %q", i, windowed[i], base[i])
+				}
+			}
+		})
+	}
+}
+
 // TestCancelStormAllocs pins the storm's steady state: schedule + cancel +
 // recycle through the generation-tagged pool stays allocation-free once the
 // pool is warm (the sharded runner multiplies this pattern by the shard

@@ -26,10 +26,21 @@
 // min-slots of parity k&1 while consumers read parity (k-1)&1, so no barrier
 // is needed between "publish" and "read" — the single barrier at the end of
 // the epoch is the happens-before edge that hands parity k&1 to epoch k+1.
-// The pending-queue minimum (Pending hook) is load-bearing for correctness:
-// events sitting in handoff buffers are invisible to the engines until
-// drained, so gmin must take them into account or a window could open past
-// an undrained event and violate causality.
+// The pending-queue minimums (Shard.PendingOut) are load-bearing for
+// correctness: events sitting in handoff buffers are invisible to the
+// engines until drained, so gmin must take them into account or a window
+// could open past an undrained event and violate causality. Each shard folds
+// its own outbound-queue minimums into the slot it publishes, so the reduce
+// is O(shards) regardless of how many queues the topology has.
+//
+// Epoch batching (solo stretches): when the reduce shows that no cross-shard
+// handoff is pending and every shard active in the upcoming window belongs
+// to one worker, that worker runs epochs alone — full Begin/Drain/run/publish
+// per epoch, exact same window sequence — while its peers park at the
+// barrier, then rejoin at the epoch the leader publishes. The epoch/gmin
+// sequence (and therefore every engine's event order and the Epochs counter)
+// is byte-identical to the fully barriered run; only the barrier count —
+// wall-clock-class telemetry — changes. See DESIGN.md §10.6.
 //
 // Because the first event of the epoch fires at ≥ gmin, anything a shard
 // sends during the epoch arrives at ≥ gmin+L — the start of the next epoch —
@@ -87,6 +98,16 @@ type Shard struct {
 	// (in the deterministic merge order the model defines) and reclaim any
 	// pooled resources returned to it. May be nil.
 	Drain func(parity uint32)
+	// PendingOut reports the minimum event time this shard has queued into
+	// outbound handoff buffers at the given parity (never if none), split by
+	// destination: own covers queues whose destination lives on this same
+	// shard (drained by this shard's own worker), cross covers queues bound
+	// for other shards. The runner folds own into the shard's published
+	// next-event time and publishes cross separately, so the per-epoch reduce
+	// is O(shards) and the solo-stretch detector can see that no other shard
+	// owes or is owed a drain. Required whenever the shard has outbound
+	// queues (netsim: Fabric.PendingOutFunc); may be nil otherwise.
+	PendingOut func(parity uint32) (own, cross sim.Time)
 }
 
 // PerfStats reports wall-clock-class runner telemetry. These numbers are NOT
@@ -104,6 +125,12 @@ type PerfStats struct {
 	// IdleSkips counts shard-epochs where the engine run was skipped
 	// because the shard's next event lay beyond the window.
 	IdleSkips uint64
+	// SoloEpochs counts epochs executed barrier-free inside a solo stretch
+	// (each one saved a full barrier round-trip). Depends on the worker
+	// count and shard→worker assignment, so perf-class only.
+	SoloEpochs uint64
+	// SoloStretches counts entries into solo mode.
+	SoloStretches uint64
 }
 
 // Runner drives a set of shards in barrier-synchronized epochs.
@@ -111,11 +138,6 @@ type Runner struct {
 	shards    []Shard
 	lookahead sim.Time
 	workers   int
-	// pending reports the minimum event time queued in cross-shard handoff
-	// buffers at the given parity (never if none). Models with cross-shard
-	// queues MUST set it (see SetPending); without it gmin would not see
-	// undrained events.
-	pending func(parity uint32) sim.Time
 	// quiesce, if set, runs single-threaded after every RunUntil, once all
 	// workers have joined — the hook for cleanup no later epoch will do
 	// (netsim: repatriating the final epoch's packet frees).
@@ -124,20 +146,26 @@ type Runner struct {
 	bar     barrier
 	// epoch counts executed epoch windows across RunUntil calls; its parity
 	// selects the live buffer of every double-buffered structure.
-	epoch     uint64
-	states    []*workerState
-	barrierNs atomic.Int64
+	epoch  uint64
+	states []*workerState
+	// soloRejoin carries the epoch at which a solo stretch ends from the
+	// leader to its parked peers; the leader stores it before arriving at
+	// the rejoin barrier, whose happens-before edge publishes it.
+	soloRejoin atomic.Uint64
+	barrierNs  atomic.Int64
 }
 
-// minSlot holds one shard's published next-event time and cumulative event
-// count, double-buffered by epoch parity (the owner writes parity k&1 at the
-// end of epoch k while peers still read parity (k-1)&1 in their reduce), and
-// padded to its own cache line so per-epoch writes from different workers
-// never false-share.
+// minSlot holds one shard's published next-event time (engine minimum folded
+// with the shard's own intra-shard outbound queue minimum), cross-shard
+// outbound queue minimum, and cumulative event count, double-buffered by
+// epoch parity (the owner writes parity k&1 at the end of epoch k while
+// peers still read parity (k-1)&1 in their reduce), and padded to its own
+// cache line so per-epoch writes from different workers never false-share.
 type minSlot struct {
 	t      [2]sim.Time
+	y      [2]sim.Time // cross-shard outbound pending minimum
 	events [2]uint64
-	_      [32]byte
+	_      [16]byte
 }
 
 // workerState is one worker's private view of the shard→worker assignment
@@ -152,6 +180,8 @@ type workerState struct {
 	load       []uint64 // scratch: per-worker assigned load
 	lastRebal  uint64   // epoch of the last rebalance (guards re-entry)
 	idleSkips  uint64
+	soloEpochs    uint64
+	soloStretches uint64
 }
 
 // New creates a runner over shards with the given lookahead (must be ≥ 1 ns:
@@ -180,11 +210,6 @@ func New(shards []Shard, lookahead sim.Time, workers int) *Runner {
 	r.setWorkers(workers)
 	return r
 }
-
-// SetPending installs the cross-shard pending-minimum hook (netsim:
-// Fabric.PendingMin). Required whenever shards exchange events through
-// handoff queues; must not be called while a run is in progress.
-func (r *Runner) SetPending(f func(parity uint32) sim.Time) { r.pending = f }
 
 // SetQuiesce installs a hook invoked single-threaded at the end of every
 // Run/RunUntil call, after all workers have joined (netsim: Fabric.Quiesce).
@@ -241,6 +266,8 @@ func (r *Runner) Perf() PerfStats {
 	p := PerfStats{Epochs: r.epoch, BarrierNs: r.barrierNs.Load()}
 	for _, st := range r.states {
 		p.IdleSkips += st.idleSkips
+		p.SoloEpochs += st.soloEpochs
+		p.SoloStretches += st.soloStretches
 	}
 	return p
 }
@@ -317,17 +344,7 @@ func (r *Runner) work(w int, deadline sim.Time, bar *barrier) uint64 {
 		}
 		wp := uint32(epoch) & 1 // this epoch's write parity
 		rp := wp ^ 1            // previous epoch's parity: what we read
-		gmin := never
-		for i := range r.mins {
-			if t := r.mins[i].t[rp]; t < gmin {
-				gmin = t
-			}
-		}
-		if r.pending != nil {
-			if p := r.pending(rp); p < gmin {
-				gmin = p
-			}
-		}
+		gmin, anyY := r.reduce(rp)
 		if gmin == never || gmin > deadline {
 			// Globally drained (below the deadline). Advance this worker's
 			// shard clocks to the deadline so every engine agrees on Now,
@@ -351,28 +368,71 @@ func (r *Runner) work(w int, deadline sim.Time, bar *barrier) uint64 {
 		if runTo > deadline {
 			runTo = deadline
 		}
-		for s := range r.shards {
-			if st.asg[s] != int32(w) {
+		// Solo-stretch detection. Every worker computes the same verdict
+		// from the same published slots and the same private-but-identical
+		// assignment, so entry and exit are fleet-consistent without any
+		// extra coordination.
+		if bar != nil && !anyY {
+			if leader, horizon := r.soloCheck(st, rp, runTo); leader >= 0 {
+				if int32(w) != leader {
+					// Park. This epoch's body is the ordinary one (all my
+					// shards idle-skip — that is what the detection proved),
+					// and it leaves my published slots frozen: an idle
+					// shard's publish rewrites the values of the previous
+					// epoch, so BOTH parities already agree and stay valid
+					// for the whole stretch without further writes. Then
+					// wait out the stretch at a second barrier.
+					r.runShards(st, w, wp, rp, runTo)
+					bar.wait(&sense, &waitNs) // end-of-epoch barrier
+					bar.wait(&sense, &waitNs) // park until the leader rejoins
+					epoch = r.soloRejoin.Load()
+					continue
+				}
+				// Leader: run this epoch normally — its end-of-epoch barrier
+				// orders the peers' last writes before the stretch — then run
+				// epochs alone until the window would touch a foreign shard
+				// (horizon, constant while the peers sit idle), a cross-shard
+				// handoff appears, or the deadline is reached. The solo
+				// reduce reads only this worker's own slots and folds the
+				// horizon in for the rest, so no foreign memory is touched
+				// while the peers spin. A stretch also ends at the next
+				// rebalance boundary, so reassignment happens at exactly
+				// the same epochs as the fully barriered run and every
+				// worker's private assignment stays in lockstep.
+				r.runShards(st, w, wp, rp, runTo)
+				epoch++
+				bar.wait(&sense, &waitNs)
+				st.soloStretches++
+				for {
+					wp = uint32(epoch) & 1
+					rp = wp ^ 1
+					g, y := r.soloReduce(st, w, rp)
+					if g > horizon {
+						g = horizon
+					}
+					if g == never || g > deadline {
+						break
+					}
+					rt := g + r.lookahead - 1
+					if rt > deadline {
+						rt = deadline
+					}
+					if y || rt >= horizon {
+						break
+					}
+					r.runShards(st, w, wp, rp, rt)
+					epoch++
+					st.soloEpochs++
+					if epoch%rebalanceEvery == 0 {
+						break
+					}
+				}
+				r.soloRejoin.Store(epoch)
+				bar.wait(&sense, &waitNs) // wake the parked peers at epoch
 				continue
 			}
-			sh := &r.shards[s]
-			if sh.Begin != nil {
-				sh.Begin(wp)
-			}
-			if sh.Drain != nil {
-				sh.Drain(rp)
-			}
-			// Idle-shard fast path: if the shard's next event (after the
-			// drain) lies beyond the window, skip the engine run. Its clock
-			// lags, but Now only matters as a max across shards, and the
-			// bounded exit path advances every clock to the deadline.
-			if t, ok := sh.Eng.NextTime(); ok && t <= runTo {
-				sh.Eng.RunUntil(runTo)
-			} else {
-				st.idleSkips++
-			}
-			r.publish(s, wp)
 		}
+		r.runShards(st, w, wp, rp, runTo)
 		epoch++
 		if bar != nil {
 			bar.wait(&sense, &waitNs)
@@ -384,16 +444,142 @@ func (r *Runner) work(w int, deadline sim.Time, bar *barrier) uint64 {
 	return epoch
 }
 
-// publish writes shard s's next-event time and cumulative event count into
-// the given parity slot. Only the worker driving s calls it.
+// reduce computes the global minimum over every shard's published next-event
+// time and cross-shard outbound pending minimum at the given parity, and
+// reports whether any cross-shard handoff content is pending at all. O(shards)
+// — the per-queue minimums were folded in at publish time by their owners.
+func (r *Runner) reduce(rp uint32) (gmin sim.Time, anyY bool) {
+	gmin = never
+	for i := range r.mins {
+		m := &r.mins[i]
+		if t := m.t[rp]; t < gmin {
+			gmin = t
+		}
+		if y := m.y[rp]; y < never {
+			anyY = true
+			if y < gmin {
+				gmin = y
+			}
+		}
+	}
+	return gmin, anyY
+}
+
+// soloCheck reports the worker that owns every shard whose next event falls
+// inside the upcoming window, or -1 if those shards span workers (or the
+// stretch is too short to pay for its extra rendezvous). horizon is the
+// earliest next-event time of any shard the leader does NOT own — constant
+// while those shards sit idle, so the leader re-checks it locally each solo
+// epoch without touching its peers. Caller guarantees no cross-shard handoff
+// is pending (anyY false), so published t values cover all queued work.
+func (r *Runner) soloCheck(st *workerState, rp uint32, runTo sim.Time) (int32, sim.Time) {
+	leader := int32(-1)
+	for i := range r.mins {
+		if r.mins[i].t[rp] > runTo {
+			continue
+		}
+		if leader < 0 {
+			leader = st.asg[i]
+		} else if st.asg[i] != leader {
+			return -1, 0
+		}
+	}
+	if leader < 0 {
+		return -1, 0
+	}
+	horizon := never
+	for i := range r.mins {
+		if st.asg[i] != leader {
+			if t := r.mins[i].t[rp]; t < horizon {
+				horizon = t
+			}
+		}
+	}
+	// Entry margin: a stretch pays one extra barrier round-trip (the rejoin),
+	// so require headroom for at least ~two barrier-free windows before the
+	// horizon. Deterministic — every worker reaches the same verdict.
+	if horizon-runTo < 2*r.lookahead {
+		return -1, 0
+	}
+	return leader, horizon
+}
+
+// runShards performs one epoch of work for every shard this worker owns:
+// flip outbound queues to the write parity, drain the read parity, run the
+// window, publish. Identical to the classic epoch body.
+func (r *Runner) runShards(st *workerState, w int, wp, rp uint32, runTo sim.Time) {
+	for s := range r.shards {
+		if st.asg[s] != int32(w) {
+			continue
+		}
+		sh := &r.shards[s]
+		if sh.Begin != nil {
+			sh.Begin(wp)
+		}
+		if sh.Drain != nil {
+			sh.Drain(rp)
+		}
+		// Idle-shard fast path: if the shard's next event (after the
+		// drain) lies beyond the window, skip the engine run. Its clock
+		// lags, but Now only matters as a max across shards, and the
+		// bounded exit path advances every clock to the deadline.
+		if t, ok := sh.Eng.NextTime(); ok && t <= runTo {
+			sh.Eng.RunUntil(runTo)
+		} else {
+			st.idleSkips++
+		}
+		r.publish(s, wp)
+	}
+}
+
+// soloReduce is the stretch-mode reduce: the minimum over only the leader's
+// own shards' published slots at the given parity. The caller folds the
+// (constant) horizon in for everyone else's shards, so the leader never
+// reads memory a parked peer might own. anyY reports cross-shard handoff
+// content queued by the leader's shards — the first such push ends the
+// stretch, because its destination shard must drain at the very next epoch.
+func (r *Runner) soloReduce(st *workerState, w int, rp uint32) (gmin sim.Time, anyY bool) {
+	gmin = never
+	for i := range r.mins {
+		if st.asg[i] != int32(w) {
+			continue
+		}
+		m := &r.mins[i]
+		if t := m.t[rp]; t < gmin {
+			gmin = t
+		}
+		if y := m.y[rp]; y < never {
+			anyY = true
+			if y < gmin {
+				gmin = y
+			}
+		}
+	}
+	return gmin, anyY
+}
+
+// publish writes shard s's next-event time (folded with its intra-shard
+// outbound pending minimum), cross-shard outbound pending minimum, and
+// cumulative event count into the given parity slot. Only the worker driving
+// s calls it.
 func (r *Runner) publish(s int, parity uint32) {
 	m := &r.mins[s]
-	if t, ok := r.shards[s].Eng.NextTime(); ok {
-		m.t[parity] = t
-	} else {
-		m.t[parity] = never
+	sh := &r.shards[s]
+	t := never
+	if et, ok := sh.Eng.NextTime(); ok {
+		t = et
 	}
-	m.events[parity] = r.shards[s].Eng.EventsRun()
+	y := never
+	if sh.PendingOut != nil {
+		own, cross := sh.PendingOut(parity)
+		if own < t {
+			t = own
+		}
+		y = cross
+	}
+	m.t[parity] = t
+	m.y[parity] = y
+	m.events[parity] = sh.Eng.EventsRun()
 }
 
 // rebalance recomputes this worker's private shard→worker assignment by LPT

@@ -101,18 +101,23 @@ func (tn *testNet) drain(d int, parity uint32) {
 	}
 }
 
-// pendingMin is the Runner's Pending hook: the minimum queued time across
-// every queue's given parity.
-func (tn *testNet) pendingMin(parity uint32) sim.Time {
-	min := never
-	for _, row := range tn.queues {
-		for _, q := range row {
-			if t := q[parity].qmin; t < min {
-				min = t
+// pendingOut is shard i's PendingOut hook: the minimum queued time across
+// its outbound queues at the given parity, split into the self-loop queue
+// (own) and queues bound for other shards (cross) — the same split
+// netsim.Fabric.PendingOutFunc computes from its partition assignment.
+func (tn *testNet) pendingOut(i int, parity uint32) (own, cross sim.Time) {
+	own, cross = never, never
+	for j, q := range tn.queues[i] {
+		t := q[parity].qmin
+		if j == i {
+			if t < own {
+				own = t
 			}
+		} else if t < cross {
+			cross = t
 		}
 	}
-	return min
+	return own, cross
 }
 
 // deliver logs the message and forwards it around the ring while the virtual
@@ -132,9 +137,10 @@ func (tn *testNet) shards() []Shard {
 	for i := range tn.engs {
 		i := i
 		out[i] = Shard{
-			Eng:   tn.engs[i],
-			Begin: func(p uint32) { tn.begin(i, p) },
-			Drain: func(p uint32) { tn.drain(i, p) },
+			Eng:        tn.engs[i],
+			Begin:      func(p uint32) { tn.begin(i, p) },
+			Drain:      func(p uint32) { tn.drain(i, p) },
+			PendingOut: func(p uint32) (sim.Time, sim.Time) { return tn.pendingOut(i, p) },
 		}
 	}
 	return out
@@ -143,7 +149,6 @@ func (tn *testNet) shards() []Shard {
 // runner builds a Runner wired to the testNet's parity hooks.
 func (tn *testNet) runner(workers int) *Runner {
 	r := New(tn.shards(), tn.la, workers)
-	r.SetPending(tn.pendingMin)
 	forceWorkers(r, workers)
 	return r
 }
@@ -408,4 +413,117 @@ func TestNewClamps(t *testing.T) {
 		}
 	}()
 	New(tn.shards(), 0, 1)
+}
+
+// TestSoloStretchInvariance drives a workload whose activity concentrates on
+// one shard for long phases — the shape that triggers solo-stretch epoch
+// batching — and asserts the batched multi-worker runs produce the identical
+// per-shard logs AND the identical epoch count as the single-worker run
+// (Epochs is mirrored into the deterministic counter registry, so a stretch
+// that merged or skipped a window would corrupt goldens). The workload also
+// exercises both stretch exits: a cross-shard push (shard 0 sends into the
+// ring every 37th local event) and the horizon (a lone far event on an
+// otherwise idle shard that the window eventually reaches).
+func TestSoloStretchInvariance(t *testing.T) {
+	run := func(workers int) ([][]string, uint64, PerfStats) {
+		tn := newTestNet(4, 50)
+		eng := tn.engs[0]
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			now := eng.Now()
+			tn.logs[0] = append(tn.logs[0], fmt.Sprintf("t=%d local %d", now, n))
+			if n%37 == 0 {
+				// Occasional cross-shard hop: ends any running stretch at
+				// the next epoch, and (below t=100·la) walks the ring.
+				tn.send(0, 1, now+tn.la+sim.Time(n%11))
+			}
+			if n < 1500 {
+				eng.At(now+7, tick)
+			}
+		}
+		eng.At(1, tick)
+		// Far event on an idle shard: a finite horizon the dense phase runs
+		// beneath, then a rejoin must hand the window over to shard 2.
+		tn.engs[2].At(20000, func() {
+			tn.logs[2] = append(tn.logs[2], fmt.Sprintf("t=%d far", tn.engs[2].Now()))
+		})
+		r := tn.runner(workers)
+		r.Run()
+		return tn.logs, r.EventsRun(), r.Perf()
+	}
+
+	baseLogs, baseEvents, basePerf := run(1)
+	if len(baseLogs[0]) == 0 || len(baseLogs[2]) == 0 {
+		t.Fatal("workload shape broken: expected logs on shards 0 and 2")
+	}
+	if basePerf.SoloEpochs != 0 {
+		t.Fatalf("single-worker path reported %d solo epochs; it has no barrier to skip", basePerf.SoloEpochs)
+	}
+	for _, w := range []int{2, 3} {
+		logs, events, perf := run(w)
+		if events != baseEvents {
+			t.Fatalf("workers=%d: EventsRun %d != %d", w, events, baseEvents)
+		}
+		if perf.Epochs != basePerf.Epochs {
+			t.Fatalf("workers=%d: Epochs %d != %d — solo stretches must not change the window sequence", w, perf.Epochs, basePerf.Epochs)
+		}
+		if perf.SoloEpochs == 0 {
+			t.Fatalf("workers=%d: no solo epochs — the batching path was never exercised", w)
+		}
+		if perf.SoloStretches == 0 || perf.SoloEpochs < perf.SoloStretches {
+			t.Fatalf("workers=%d: implausible stretch accounting: %d epochs over %d stretches", w, perf.SoloEpochs, perf.SoloStretches)
+		}
+		for s := range baseLogs {
+			if len(logs[s]) != len(baseLogs[s]) {
+				t.Fatalf("workers=%d shard %d: %d lines vs %d", w, s, len(logs[s]), len(baseLogs[s]))
+			}
+			for i := range baseLogs[s] {
+				if logs[s][i] != baseLogs[s][i] {
+					t.Fatalf("workers=%d shard %d line %d: %q vs %q", w, s, i, logs[s][i], baseLogs[s][i])
+				}
+			}
+		}
+	}
+}
+
+// TestSoloStretchDeadline: a bounded RunUntil that lands inside a stretch
+// must exit with every shard clock on the deadline and resume exactly —
+// the leader's deadline break has to rejoin its parked peers first.
+func TestSoloStretchDeadline(t *testing.T) {
+	run := func(workers int) ([][]string, sim.Time) {
+		tn := newTestNet(3, 50)
+		eng := tn.engs[0]
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			tn.logs[0] = append(tn.logs[0], fmt.Sprintf("t=%d local %d", eng.Now(), n))
+			if n < 800 {
+				eng.At(eng.Now()+9, tick)
+			}
+		}
+		eng.At(1, tick)
+		tn.engs[1].At(30000, func() {
+			tn.logs[1] = append(tn.logs[1], "late")
+		})
+		r := tn.runner(workers)
+		r.RunUntil(3000)
+		mid := r.Now()
+		r.Run()
+		return tn.logs, mid
+	}
+	baseLogs, baseMid := run(1)
+	for _, w := range []int{2, 3} {
+		logs, mid := run(w)
+		if mid != baseMid || mid != 3000 {
+			t.Fatalf("workers=%d: clock after RunUntil(3000) = %d (base %d), want 3000", w, mid, baseMid)
+		}
+		for s := range baseLogs {
+			if fmt.Sprint(logs[s]) != fmt.Sprint(baseLogs[s]) {
+				t.Fatalf("workers=%d shard %d: logs diverge", w, s)
+			}
+		}
+	}
 }

@@ -7,7 +7,7 @@
 // the property that makes a faithful data-plane reproduction possible in Go.
 //
 // The engine is built for zero steady-state allocation: pending events live
-// in a concrete 4-ary min-heap of pooled nodes recycled through a per-engine
+// in a hierarchical timer wheel of pooled nodes recycled through a per-engine
 // free list, so At/After/Run allocate nothing once the pool has warmed up.
 // The pool is owned by exactly one engine and touched only from its (single)
 // driving goroutine — never a sync.Pool, whose cross-goroutine stealing would
@@ -17,6 +17,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 )
 
@@ -44,14 +45,36 @@ func (t Time) String() string { return t.Duration().String() }
 // only ever increase, so no handle can match it.
 const noCancel = ^uint64(0)
 
-// node is one pooled event record. Nodes are recycled through the engine's
-// free list the moment they fire or are cancelled.
+// Timer-wheel geometry: wheelLevels levels of wheelSlots slots each, level
+// lvl's slots wheelSlots^lvl nanoseconds wide. Level 0 slots are 1 ns wide,
+// so every node in a level-0 slot shares the same `at` and intra-slot FIFO
+// order IS (at, seq) order. The wheel spans wheelSlots^wheelLevels ns
+// (≈68.7 s) ahead of base; anything farther waits in the sorted overflow
+// list until the wheel turns into its segment.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 6
+	topShift    = wheelBits * wheelLevels
+)
+
+// compactMin is the dead-node floor below which Cancel never triggers a
+// compaction sweep; above it, a sweep runs whenever dead nodes outnumber
+// live nodes by more than an eighth, keeping the pool footprint within ~12%
+// of the live population at O(1) amortized sweep cost per cancel.
+const compactMin = 16
+
+// node is one pooled event record, linked intrusively into a wheel slot's
+// FIFO list (or held in the sorted overflow list). Nodes are recycled
+// through the engine's free list when they fire or are swept after a lazy
+// cancel.
 type node struct {
-	at  Time
-	seq uint64
-	fn  func()
-	idx int     // heap index; -1 while free or executing
-	eng *Engine // owner, so Event.Cancel can reach the heap and free list
+	at   Time
+	seq  uint64
+	fn   func()
+	next *node   // intrusive slot-list link
+	eng  *Engine // owner, so Event.Cancel can reach the counters
 	// gen is bumped every time the node is recycled; an Event handle captures
 	// the gen it was issued under, so handles to already-fired (and possibly
 	// reused) nodes become inert instead of cancelling a stranger's event.
@@ -60,6 +83,10 @@ type node struct {
 	// (noCancel otherwise), which lets exactly that handle observe
 	// Cancelled() == true even after the node is reused.
 	cancelGen uint64
+	// queued is true while the node sits in the wheel or overflow list;
+	// dead marks a lazily cancelled node awaiting unlink (still queued).
+	queued bool
+	dead   bool
 }
 
 // Event is a handle to a scheduled callback. Events with equal times run in
@@ -73,20 +100,26 @@ type Event struct {
 	at  Time
 }
 
-// Cancel prevents a pending event from running, removing it from the queue
-// immediately (it no longer counts toward Pending). Cancelling an event that
-// has already fired — even if its pooled node has since been reused — is a
-// no-op.
+// Cancel prevents a pending event from running. Cancellation is lazy and
+// O(1): the node is marked dead in place (it immediately stops counting
+// toward Pending and is invisible to NextTime) and is unlinked later — when
+// the wheel reaches it, or by a compaction sweep once dead nodes outnumber
+// live ones. Cancelling an event that has already fired — even if its pooled
+// node has since been reused — is a no-op.
 func (ev Event) Cancel() {
 	n := ev.n
-	if n == nil || n.gen != ev.gen || n.idx < 0 {
+	if n == nil || n.gen != ev.gen || !n.queued || n.dead {
 		return
 	}
 	e := n.eng
-	e.removeAt(n.idx)
-	n.idx = -1
+	n.dead = true
+	n.fn = nil
 	n.cancelGen = ev.gen
-	e.release(n)
+	e.live--
+	e.dead++
+	if e.dead > compactMin && e.dead*8 > e.live {
+		e.compact()
+	}
 }
 
 // Cancelled reports whether this event was cancelled before running.
@@ -95,15 +128,35 @@ func (ev Event) Cancelled() bool { return ev.n != nil && ev.n.cancelGen == ev.ge
 // Time returns the virtual time the event is (or was) scheduled for.
 func (ev Event) Time() Time { return ev.at }
 
+// slotList is one wheel slot's FIFO of nodes (append at tail, consume at
+// head). Within a level-0 slot all nodes share the same `at`, so FIFO order
+// is exactly (at, seq) order.
+type slotList struct {
+	head, tail *node
+}
+
 // Engine owns the virtual clock and the pending event queue.
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
-	now     Time
-	heap    []*node // 4-ary min-heap ordered by (at, seq)
-	free    []*node // recycled nodes
+	now Time
+	// base is the wheel's reference time. Invariants: base never decreases,
+	// base ≤ now whenever the engine is between events (base only advances
+	// in popNext, to the slot start of the event about to fire), and every
+	// node in the wheel has at ≥ base. Together these guarantee At(t ≥ now)
+	// always places at or above base — no "past the wheel" case exists.
+	base    Time
 	seq     uint64
+	live    int // queued, not cancelled
+	dead    int // queued, lazily cancelled, awaiting unlink
 	stopped bool
 	ran     uint64
+	slots   [wheelLevels][wheelSlots]slotList
+	occ     [wheelLevels]uint64 // per-level occupancy bitmaps
+	// ov holds nodes beyond the wheel span, sorted by (at, seq); ovOff is
+	// the consumed-prefix cursor so promotion never memmoves the slice.
+	ov    []*node
+	ovOff int
+	free  []*node // recycled nodes
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -117,18 +170,18 @@ func (e *Engine) Now() Time { return e.now }
 // EventsRun returns the number of events executed so far.
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
-// Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of live events still queued. Lazily cancelled
+// nodes awaiting unlink are not counted.
+func (e *Engine) Pending() int { return e.live }
 
-// NextTime returns the virtual time of the earliest pending event, or false
-// when the queue is empty. The conservative PDES runner (internal/sim/pdes)
-// peeks every shard's next event at each barrier to pick the epoch window;
-// the peek must not disturb the heap.
+// NextTime returns the virtual time of the earliest live pending event, or
+// false when the queue is empty. Lazily cancelled nodes are skipped — a
+// cancelled head never shows through. The conservative PDES runner
+// (internal/sim/pdes) peeks every shard's next event at each barrier to pick
+// the epoch window; the peek must not disturb the event order (it frees dead
+// nodes it walks over, but never moves a live node or advances the wheel).
 func (e *Engine) NextTime() (Time, bool) {
-	if len(e.heap) == 0 {
-		return 0, false
-	}
-	return e.heap[0].at, true
+	return e.peekTime()
 }
 
 // get pops a recycled node or allocates a fresh one (pool not yet warm).
@@ -138,7 +191,7 @@ func (e *Engine) get() *node {
 		e.free = e.free[:k]
 		return n
 	}
-	return &node{idx: -1, eng: e, cancelGen: noCancel}
+	return &node{eng: e, cancelGen: noCancel}
 }
 
 // release returns a node to the free list. Bumping gen first makes every
@@ -146,6 +199,9 @@ func (e *Engine) get() *node {
 func (e *Engine) release(n *node) {
 	n.gen++
 	n.fn = nil
+	n.next = nil
+	n.queued = false
+	n.dead = false
 	e.free = append(e.free, n)
 }
 
@@ -159,8 +215,10 @@ func (e *Engine) At(t Time, fn func()) Event {
 	n.at = t
 	n.seq = e.seq
 	n.fn = fn
+	n.queued = true
 	e.seq++
-	e.push(n)
+	e.live++
+	e.place(n)
 	return Event{n: n, gen: n.gen, at: t}
 }
 
@@ -186,8 +244,12 @@ func (e *Engine) Run() {
 // events but the queue still has later entries).
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		if e.heap[0].at > deadline {
+	for !e.stopped {
+		t, ok := e.peekTime()
+		if !ok {
+			break
+		}
+		if t > deadline {
 			if e.now < deadline {
 				e.now = deadline
 			}
@@ -211,16 +273,6 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// popNext removes and returns the earliest pending node, or nil on an empty
-// queue. Cancelled events are removed eagerly by Cancel, so every queued
-// node is live — there is no dead-node skip loop to keep in sync.
-func (e *Engine) popNext() *node {
-	if len(e.heap) == 0 {
-		return nil
-	}
-	return e.popMin()
-}
-
 // fire advances the clock to n and runs its callback. The node is recycled
 // before the callback executes, so the callback may schedule new events that
 // reuse it immediately.
@@ -232,102 +284,284 @@ func (e *Engine) fire(n *node) {
 	fn()
 }
 
-// 4-ary min-heap over e.heap, ordered by (at, seq) — the same total order as
-// the previous container/heap implementation, without interface boxing. A
-// 4-ary layout halves tree depth versus binary, trading slightly wider
-// sift-down scans for fewer cache-missing levels; idx tracking gives Cancel
-// O(log n) removal.
+// Hierarchical timer wheel ordered by (at, seq) — the same total order as
+// the previous 4-ary heap, with O(1) amortized schedule/pop for the
+// near-future-clustered event populations network simulation produces
+// (calendar-queue argument; same structure as the kernel timer wheel, but
+// exact: nothing ever fires early or late, far events cascade down level by
+// level as base advances).
+//
+// Placement: a node lands at the smallest level lvl whose slot width covers
+// the highest bit where `at` differs from `base` — i.e. levels hold nodes
+// sharing all digits above lvl with base. That makes the levels strictly
+// time-ordered (everything at a lower level runs before anything at a
+// higher one) and the slots within a level time-ordered by index, so the
+// earliest pending node is always in the lowest occupied slot of the lowest
+// occupied level; no ring wraparound exists to reason about.
+//
+// FIFO exactness: level-0 slots are 1 ns wide, so equal-`at` nodes meet in
+// one level-0 list. Direct inserts append in seq order (seq is monotone);
+// cascades detach a whole higher-level list and re-place it preserving
+// relative order; and a direct level-0 insert can never interleave ahead of
+// an equal-`at` node still sitting at a higher level, because after every
+// cascade all remaining level ≥ 1 nodes differ from base above bit
+// wheelBits — they cannot share an `at` with any level-0-placeable time.
 
-func nodeLess(a, b *node) bool {
-	if a.at != b.at {
-		return a.at < b.at
+// place links a queued node into the wheel (or the sorted overflow list).
+// The caller has set at/seq/queued; dead nodes are never placed.
+func (e *Engine) place(n *node) {
+	d := uint64(n.at ^ e.base)
+	var lvl int
+	if d != 0 {
+		lvl = (bits.Len64(d) - 1) / wheelBits
 	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(n *node) {
-	e.heap = append(e.heap, n)
-	e.siftUp(len(e.heap) - 1)
-}
-
-func (e *Engine) popMin() *node {
-	h := e.heap
-	n := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = nil
-	e.heap = h[:last]
-	n.idx = -1
-	if last > 0 {
-		e.siftDown(0)
-	}
-	return n
-}
-
-// removeAt deletes the node at heap index i (used by Cancel). The caller
-// owns the removed node; the vacating substitute is re-sifted both ways,
-// mirroring container/heap.Remove.
-func (e *Engine) removeAt(i int) {
-	h := e.heap
-	last := len(h) - 1
-	if i == last {
-		h[last] = nil
-		e.heap = h[:last]
+	if lvl >= wheelLevels {
+		e.ovInsert(n)
 		return
 	}
-	h[i] = h[last]
-	h[last] = nil
-	e.heap = h[:last]
-	if !e.siftDown(i) {
-		e.siftUp(i)
+	slot := int(uint64(n.at)>>(wheelBits*lvl)) & wheelMask
+	l := &e.slots[lvl][slot]
+	n.next = nil
+	if l.tail == nil {
+		l.head = n
+	} else {
+		l.tail.next = n
 	}
+	l.tail = n
+	e.occ[lvl] |= 1 << uint(slot)
 }
 
-func (e *Engine) siftUp(i int) {
-	h := e.heap
-	n := h[i]
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !nodeLess(n, h[p]) {
-			break
+// ovInsert binary-inserts a node into the overflow list, keeping it sorted
+// by (at, seq). Far-future scheduling is rare and usually in increasing time
+// order, so the insert almost always appends.
+func (e *Engine) ovInsert(n *node) {
+	liveTail := e.ov[e.ovOff:]
+	lo, hi := 0, len(liveTail)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		m := liveTail[mid]
+		if m.at < n.at || (m.at == n.at && m.seq < n.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		h[i] = h[p]
-		h[i].idx = i
-		i = p
 	}
-	h[i] = n
-	n.idx = i
+	e.ov = append(e.ov, nil)
+	at := e.ovOff + lo
+	copy(e.ov[at+1:], e.ov[at:])
+	e.ov[at] = n
 }
 
-// siftDown restores heap order below i, reporting whether the node moved.
-func (e *Engine) siftDown(i int) bool {
-	h := e.heap
-	n := h[i]
-	start := i
-	sz := len(h)
+// peekTime returns the earliest live pending time. It frees dead nodes it
+// walks over (front-of-slot and overflow-front) but never moves a live node
+// or advances base, so peeking cannot perturb event order.
+func (e *Engine) peekTime() (Time, bool) {
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		for e.occ[lvl] != 0 {
+			slot := bits.TrailingZeros64(e.occ[lvl])
+			l := &e.slots[lvl][slot]
+			for l.head != nil && l.head.dead {
+				n := l.head
+				l.head = n.next
+				e.dead--
+				e.release(n)
+			}
+			if l.head == nil {
+				l.tail = nil
+				e.occ[lvl] &^= 1 << uint(slot)
+				continue
+			}
+			// The lowest occupied slot of the lowest occupied level holds the
+			// earliest pending node; at level ≥ 1 the slot list is unsorted,
+			// so scan it for the minimum live time.
+			best := l.head.at
+			if lvl > 0 {
+				for n := l.head.next; n != nil; n = n.next {
+					if !n.dead && n.at < best {
+						best = n.at
+					}
+				}
+			}
+			return best, true
+		}
+	}
+	for e.ovOff < len(e.ov) {
+		n := e.ov[e.ovOff]
+		if !n.dead {
+			return n.at, true
+		}
+		e.ov[e.ovOff] = nil
+		e.ovOff++
+		e.dead--
+		e.release(n)
+	}
+	if e.ovOff > 0 {
+		e.ov = e.ov[:0]
+		e.ovOff = 0
+	}
+	return 0, false
+}
+
+// popNext removes and returns the earliest live pending node, or nil on an
+// empty queue, freeing any dead nodes it passes. Level-0 pops are O(1);
+// otherwise base advances to the lowest occupied slot's start time and that
+// slot cascades down, each node moving at most wheelLevels times over its
+// lifetime (amortized O(1)).
+func (e *Engine) popNext() *node {
 	for {
-		c := i<<2 + 1
-		if c >= sz {
-			break
+		if e.occ[0] != 0 {
+			slot := bits.TrailingZeros64(e.occ[0])
+			l := &e.slots[0][slot]
+			for l.head != nil {
+				n := l.head
+				l.head = n.next
+				if l.head == nil {
+					l.tail = nil
+					e.occ[0] &^= 1 << uint(slot)
+				}
+				if n.dead {
+					e.dead--
+					e.release(n)
+					continue
+				}
+				n.next = nil
+				n.queued = false
+				e.live--
+				return n
+			}
+			continue
 		}
-		best := c
-		end := c + 4
-		if end > sz {
-			end = sz
+		if !e.cascade() {
+			return nil
 		}
-		for j := c + 1; j < end; j++ {
-			if nodeLess(h[j], h[best]) {
-				best = j
+	}
+}
+
+// cascade advances base to the earliest occupied slot (or the earliest
+// overflow segment once the wheel is empty) and redistributes that slot's
+// nodes to lower levels, freeing dead ones. It reports whether any slot was
+// opened; false means the queue is fully drained.
+func (e *Engine) cascade() bool {
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		if e.occ[lvl] == 0 {
+			continue
+		}
+		slot := bits.TrailingZeros64(e.occ[lvl])
+		shift := uint(wheelBits * lvl)
+		span := Time(1) << (shift + wheelBits)
+		// All lower levels are empty, so the earliest pending time is inside
+		// this slot: advance base to the slot's start and re-place its list.
+		// Relative order is preserved, and every node lands at a lower level
+		// (its differing bits vs the new base are below this slot's width).
+		e.base = e.base&^(span-1) | Time(slot)<<shift
+		l := &e.slots[lvl][slot]
+		n := l.head
+		l.head, l.tail = nil, nil
+		e.occ[lvl] &^= 1 << uint(slot)
+		for n != nil {
+			next := n.next
+			if n.dead {
+				e.dead--
+				e.release(n)
+			} else {
+				e.place(n)
+			}
+			n = next
+		}
+		return true
+	}
+	// Wheel empty: turn it into the earliest overflow segment and promote
+	// that segment's (sorted) prefix.
+	for e.ovOff < len(e.ov) {
+		n := e.ov[e.ovOff]
+		e.ov[e.ovOff] = nil
+		e.ovOff++
+		if n.dead {
+			e.dead--
+			e.release(n)
+			continue
+		}
+		e.base = n.at >> topShift << topShift
+		e.place(n)
+		for e.ovOff < len(e.ov) {
+			m := e.ov[e.ovOff]
+			if uint64(m.at)>>topShift != uint64(n.at)>>topShift {
+				break
+			}
+			e.ov[e.ovOff] = nil
+			e.ovOff++
+			if m.dead {
+				e.dead--
+				e.release(m)
+			} else {
+				e.place(m)
 			}
 		}
-		if !nodeLess(h[best], n) {
-			break
+		if e.ovOff == len(e.ov) {
+			e.ov = e.ov[:0]
+			e.ovOff = 0
 		}
-		h[i] = h[best]
-		h[i].idx = i
-		i = best
+		return true
 	}
-	h[i] = n
-	n.idx = i
-	return i != start
+	if e.ovOff > 0 {
+		e.ov = e.ov[:0]
+		e.ovOff = 0
+	}
+	return false
+}
+
+// compact sweeps every slot list and the overflow list, unlinking and
+// recycling dead nodes in place (live nodes keep their relative order).
+// Triggered by Cancel once dead nodes outnumber live ones, so its O(n) walk
+// amortizes to O(1) per cancel and the pool's footprint stays bounded by
+// ~2× the live population.
+func (e *Engine) compact() {
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		occ := e.occ[lvl]
+		for occ != 0 {
+			slot := bits.TrailingZeros64(occ)
+			occ &^= 1 << uint(slot)
+			l := &e.slots[lvl][slot]
+			var head, tail *node
+			for n := l.head; n != nil; {
+				next := n.next
+				if n.dead {
+					e.dead--
+					e.release(n)
+				} else {
+					n.next = nil
+					if tail == nil {
+						head = n
+					} else {
+						tail.next = n
+					}
+					tail = n
+				}
+				n = next
+			}
+			l.head, l.tail = head, tail
+			if head == nil {
+				e.occ[lvl] &^= 1 << uint(slot)
+			}
+		}
+	}
+	if len(e.ov) > e.ovOff {
+		kept := e.ov[:0]
+		for _, n := range e.ov[e.ovOff:] {
+			if n.dead {
+				e.dead--
+				e.release(n)
+			} else {
+				kept = append(kept, n)
+			}
+		}
+		for i := len(kept); i < len(e.ov); i++ {
+			e.ov[i] = nil
+		}
+		e.ov = kept
+		e.ovOff = 0
+	} else {
+		e.ov = e.ov[:0]
+		e.ovOff = 0
+	}
 }

@@ -276,13 +276,13 @@ func newShardedTestbed(cfg Config, link netsim.LinkConfig) *Testbed {
 	runnerShards := make([]pdes.Shard, shards)
 	for s := range runnerShards {
 		runnerShards[s] = pdes.Shard{
-			Eng:   engines[s],
-			Begin: fab.BeginFunc(s),
-			Drain: fab.DrainFunc(s),
+			Eng:        engines[s],
+			Begin:      fab.BeginFunc(s),
+			Drain:      fab.DrainFunc(s),
+			PendingOut: fab.PendingOutFunc(s),
 		}
 	}
 	tb.runner = pdes.New(runnerShards, fab.Lookahead(), shards)
-	tb.runner.SetPending(fab.PendingMin)
 	tb.runner.SetQuiesce(fab.Quiesce)
 	return tb
 }
